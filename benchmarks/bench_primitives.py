@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the library's hot primitives.
+
+Unlike the figure benches (which run an experiment once and record its
+numbers), these use pytest-benchmark's repeated timing to watch for
+performance regressions in the inner loops every simulation leans on:
+MD4 hashing, Zipf sampling, the randomization swap, pair-overlap
+counting, LRU list maintenance and one full small search run.
+"""
+
+import random
+
+from repro.analysis.semantic import pair_overlaps
+from repro.core.neighbours import LRUNeighbours
+from repro.core.randomization import _SwapState, swap_once
+from repro.core.search import SearchConfig, simulate_search
+from repro.edonkey.md4 import md4_digest
+from repro.trace.model import StaticTrace
+from repro.util.rng import RngStream
+from repro.util.zipf import ZipfSampler
+
+
+def _clustered_trace(num_peers=60, files_per=25, communities=6) -> StaticTrace:
+    caches = {}
+    for peer in range(num_peers):
+        community = peer % communities
+        caches[peer] = frozenset(
+            f"c{community}-f{(peer + i) % (files_per * 2)}" for i in range(files_per)
+        )
+    return StaticTrace(caches=caches)
+
+
+def test_md4_throughput(benchmark):
+    payload = bytes(range(256)) * 256  # 64 KiB
+    digest = benchmark(md4_digest, payload)
+    assert len(digest) == 16
+
+
+def test_zipf_sampling(benchmark):
+    sampler = ZipfSampler(100_000, 0.7, flat_head=5)
+    rng = random.Random(1)
+
+    def draw_batch():
+        return [sampler.sample(rng) for _ in range(1000)]
+
+    draws = benchmark(draw_batch)
+    assert all(0 <= d < 100_000 for d in draws)
+
+
+def test_randomization_swaps(benchmark):
+    trace = _clustered_trace()
+    rng = RngStream(0)
+
+    def thousand_swaps():
+        state = _SwapState(trace)
+        done = 0
+        for _ in range(1000):
+            done += swap_once(state, rng)
+        return done
+
+    swaps = benchmark(thousand_swaps)
+    assert swaps > 0
+
+
+def test_pair_overlap_counting(benchmark):
+    trace = _clustered_trace(num_peers=120)
+    caches = dict(trace.caches)
+    overlaps = benchmark(pair_overlaps, caches)
+    assert overlaps
+
+
+def test_lru_maintenance(benchmark):
+    upload_rng = random.Random(7)
+    uploads = [upload_rng.randrange(200) for _ in range(5000)]
+
+    def churn_list():
+        lru = LRUNeighbours(20)
+        for uploader in uploads:
+            lru.record_upload(uploader)
+        return lru
+
+    lru = benchmark(churn_list)
+    assert len(lru) == 20
+
+
+def test_small_search_run(benchmark):
+    trace = _clustered_trace(num_peers=80, files_per=20)
+
+    def run():
+        return simulate_search(
+            trace, SearchConfig(list_size=10, track_load=False, seed=3)
+        )
+
+    result = benchmark(run)
+    assert result.rates.requests > 0

@@ -1,0 +1,50 @@
+"""Benchmark harness plumbing.
+
+Each benchmark reproduces one table or figure of the paper at DEFAULT
+scale, asserts its qualitative shape, and *records* the rendered result.
+The rendered reports are printed in the terminal summary (so they land in
+``bench_output.txt``) and written to ``benchmarks/results/<id>.txt``.
+
+Benchmarks run the experiment exactly once (``pedantic`` with one round):
+the measurements of interest are the reproduced numbers, not nanosecond
+timings, and some experiments take tens of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_REPORTS: List[str] = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(result) -> None:
+    """Record an ExperimentResult for the terminal summary + results dir.
+
+    Writes the rendered text always, and a ``.csv`` with the raw series
+    points when the result carries figure data (for external plotting).
+    """
+    text = result.render()
+    _REPORTS.append(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    if result.series or result.metrics:
+        result.write_csv(os.path.join(RESULTS_DIR, f"{result.experiment_id}.csv"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for report in _REPORTS:
+        terminalreporter.write_line(report)
+        terminalreporter.write_line("")

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Protocol-level scenario: crawl a simulated eDonkey network.
+
+This example exercises the :mod:`repro.edonkey` substrate end-to-end, the
+way the paper's authors collected their trace:
+
+1. build an eDonkey network (index servers + clients with published
+   caches; some clients firewalled, some with browsing disabled, some
+   servers too new to support ``query-users``);
+2. run the crawler for several days: nickname sweep (``aaa``..``zzz``),
+   reachability filtering, daily cache browsing under a declining
+   bandwidth budget;
+3. feed the crawled trace into the same analysis pipeline used for the
+   synthetic workloads and print what the crawler could / could not see.
+
+Run with::
+
+    python examples/crawl_simulation.py [--days N] [--clients N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.edonkey.crawler import Crawler, CrawlerConfig
+from repro.edonkey.network import NetworkConfig, build_network
+from repro.trace.filtering import filter_duplicates
+from repro.trace.stats import daily_counts, general_characteristics
+from repro.util.tables import format_table, percent
+from repro.workload.config import WorkloadConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=6)
+    parser.add_argument("--clients", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workload = dataclasses.replace(
+        WorkloadConfig().small(),
+        num_clients=args.clients,
+        num_files=2000,
+        days=args.days,
+        mainstream_pool_size=150,
+    )
+    network_config = NetworkConfig(
+        num_servers=3,
+        firewalled_fraction=0.25,
+        browse_disabled_fraction=0.15,
+        query_users_support_fraction=0.7,
+        workload=workload,
+    )
+
+    print(
+        f"Building network: {args.clients} clients, "
+        f"{network_config.num_servers} servers..."
+    )
+    network = build_network(network_config, seed=args.seed)
+
+    n_firewalled = sum(
+        1 for c in network.clients.values() if c.config.firewalled
+    )
+    n_hidden = sum(
+        1 for c in network.clients.values() if not c.config.browseable
+    )
+    n_legacy = sum(
+        1
+        for s in network.servers.values()
+        if s.config.supports_query_users
+    )
+    print(
+        f"  {n_firewalled} firewalled clients, {n_hidden} with browsing "
+        f"disabled, {n_legacy}/{len(network.servers)} servers still "
+        "support query-users"
+    )
+
+    print(f"\nCrawling for {args.days} days...")
+    crawler = Crawler(
+        network,
+        CrawlerConfig(
+            days=args.days,
+            browse_budget_start=args.clients * 2,
+            browse_budget_end=args.clients,
+        ),
+        seed=args.seed,
+    )
+    trace = crawler.crawl()
+
+    stats = crawler.stats
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("nickname queries sent", stats.nickname_queries),
+                ("reachable users discovered", stats.users_discovered),
+                ("firewalled users skipped", stats.firewalled_skipped),
+                ("browse attempts", stats.browse_attempts),
+                ("browses refused", stats.browse_refused),
+                ("snapshots collected", stats.browse_succeeded),
+                ("protocol messages routed", network.stats.total()),
+            ],
+            title="Crawl statistics",
+        )
+    )
+
+    chars = general_characteristics(trace)
+    filtered = filter_duplicates(trace)
+    print(
+        f"\nCollected trace: {chars.num_clients} clients "
+        f"({percent(chars.free_rider_fraction)} free-riders), "
+        f"{chars.num_distinct_files} distinct files over "
+        f"{chars.duration_days} days; "
+        f"{len(filtered.clients)} clients after duplicate filtering."
+    )
+
+    clients_per_day, files_per_day, _ = daily_counts(trace)
+    rows = [
+        (int(day), int(n_clients), int(n_files))
+        for day, n_clients, n_files in zip(
+            clients_per_day.xs, clients_per_day.ys, files_per_day.ys
+        )
+    ]
+    print()
+    print(
+        format_table(
+            ("day", "clients browsed", "files seen"),
+            rows,
+            title="Daily crawl coverage (cf. Figure 1)",
+        )
+    )
+
+    visible = chars.num_clients
+    total = len(network.clients)
+    print(
+        f"\nThe crawler observed {visible}/{total} clients "
+        f"({percent(visible / total)}): firewalls, disabled browsing and "
+        "the browse budget hide the rest — the same blind spots the "
+        "paper's measurement methodology has."
+    )
+
+
+if __name__ == "__main__":
+    main()

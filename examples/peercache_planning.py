@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Scenario: an ISP plans an AS-level PeerCache deployment.
+
+Section 4.1 of the paper notes that five autonomous systems host 54% of
+all eDonkey clients and floats the PeerCache idea: an operator-run box
+that keeps peer-to-peer traffic inside the AS, storing an *index* rather
+than content to avoid liability.  This example plays the operator:
+
+1. measure the baseline — what fraction of its subscribers' downloads
+   already have an intra-AS source (index mode, zero storage);
+2. sweep content-cache sizes to see what storage actually buys;
+3. quantify how much of the locality comes from *shared interests*
+   (the geo-affinity ablation) rather than AS size.
+
+Run with::
+
+    python examples/peercache_planning.py [--scale small|default]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.cache.peercache import PeerCacheConfig, simulate_peercache
+from repro.experiments.configs import Scale, workload_config
+from repro.util.tables import format_table, percent
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+GB = 1024**3
+
+
+def build_static(scale, seed, geo_affinity):
+    base = workload_config(scale)
+    config = dataclasses.replace(
+        base,
+        interest_model=dataclasses.replace(
+            base.interest_model, geo_affinity=geo_affinity
+        ),
+    )
+    generator = SyntheticWorkloadGenerator(config=config, seed=seed)
+    static = generator.generate_static()
+    aliases = [
+        p.meta.client_id for p in generator.profiles if p.alias_of is not None
+    ]
+    return static.without_clients(aliases)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "default"], default="small")
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+    scale = Scale.SMALL if args.scale == "small" else Scale.DEFAULT
+
+    print(f"Generating {args.scale} workload...")
+    static = build_static(scale, args.seed, geo_affinity=0.7)
+
+    # -- 1. index-mode baseline -----------------------------------------
+    index = simulate_peercache(static, PeerCacheConfig(mode="index", seed=args.seed))
+    print(
+        f"\nIndex-only PeerCache (zero storage): "
+        f"{percent(index.hit_rate)} of requests and "
+        f"{percent(index.byte_locality)} of bytes stay inside the home AS."
+    )
+    print(
+        format_table(
+            ("AS", "requests", "served intra-AS"),
+            [
+                (asn, n, percent(rate))
+                for asn, n, rate in index.top_as_rows(5)
+            ],
+            title="Per-AS breakdown (busiest five)",
+        )
+    )
+
+    # -- 2. content-cache sizing sweep -----------------------------------
+    rows = []
+    for capacity_gb in (5, 20, 50, 200):
+        content = simulate_peercache(
+            static,
+            PeerCacheConfig(
+                mode="content", capacity_bytes=capacity_gb * GB, seed=args.seed
+            ),
+        )
+        rows.append(
+            (
+                f"{capacity_gb} GB",
+                percent(content.hit_rate),
+                percent(content.byte_locality),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("cache size per AS", "request hit rate", "byte hit rate"),
+            rows,
+            title="Content-cache sizing sweep (LRU)",
+        )
+    )
+
+    # -- 3. where does the locality come from? ---------------------------
+    unclustered = build_static(scale, args.seed, geo_affinity=0.0)
+    index_unclustered = simulate_peercache(
+        unclustered, PeerCacheConfig(mode="index", seed=args.seed)
+    )
+    gain = index.hit_rate - index_unclustered.hit_rate
+    print(
+        f"\nWith geographic interest clustering disabled, the intra-AS "
+        f"rate drops from {percent(index.hit_rate)} to "
+        f"{percent(index_unclustered.hit_rate)}: "
+        f"{percent(gain)} of all requests stay local *because* same-AS "
+        "subscribers share interests — the paper's Section 4.1 argument.\n"
+        "Index mode beats sizeable content caches while storing nothing "
+        "but pointers, which is also the legally deployable variant."
+    )
+
+
+if __name__ == "__main__":
+    main()

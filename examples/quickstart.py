@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Quickstart: generate a synthetic eDonkey trace, run the paper's
+pipeline, and evaluate semantic-neighbour search.
+
+Walks through the library's main moving parts in five steps:
+
+1. generate a synthetic workload (the stand-in for the 2003/04 crawl);
+2. run the paper's trace pipeline (duplicate filtering + extrapolation);
+3. print Table 1-style characteristics;
+4. simulate server-less search with LRU semantic neighbours (Figure 18);
+5. compare against randomly chosen neighbours.
+
+Run with::
+
+    python examples/quickstart.py [--scale small|default] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.search import SearchConfig, simulate_search
+from repro.experiments.configs import Scale, workload_config
+from repro.trace.extrapolation import extrapolate
+from repro.trace.filtering import filter_duplicates
+from repro.trace.stats import general_characteristics
+from repro.util.tables import format_table, percent
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "default"], default="small")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    scale = Scale.SMALL if args.scale == "small" else Scale.DEFAULT
+    config = workload_config(scale)
+
+    # -- 1. generate the workload ------------------------------------
+    print(f"Generating a {args.scale} workload "
+          f"({config.num_clients} clients, {config.num_files} files, "
+          f"{config.days} days)...")
+    generator = SyntheticWorkloadGenerator(config=config, seed=args.seed)
+    full_trace = generator.generate()
+
+    # -- 2. the paper's pipeline --------------------------------------
+    filtered = filter_duplicates(full_trace)
+    extrapolated = extrapolate(filtered)
+
+    # -- 3. Table 1 ----------------------------------------------------
+    rows = []
+    for label, trace in (
+        ("full", full_trace),
+        ("filtered", filtered),
+        ("extrapolated", extrapolated),
+    ):
+        chars = general_characteristics(trace)
+        rows.append(
+            (
+                label,
+                chars.num_clients,
+                percent(chars.free_rider_fraction),
+                chars.num_distinct_files,
+                chars.num_snapshots,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("trace", "clients", "free-riders", "files", "snapshots"),
+            rows,
+            title="Trace characteristics (cf. Table 1)",
+        )
+    )
+
+    # -- 4. semantic search -------------------------------------------
+    static = filtered.to_static()
+    print("\nSimulating server-less search (LRU semantic neighbours)...")
+    rows = []
+    for list_size in (5, 10, 20):
+        result = simulate_search(
+            static,
+            SearchConfig(list_size=list_size, strategy="lru",
+                         track_load=False, seed=args.seed),
+        )
+        rows.append((list_size, result.rates.requests, percent(result.hit_rate)))
+    print(
+        format_table(
+            ("neighbours", "requests", "hit rate"),
+            rows,
+            title="LRU semantic search (cf. Figure 18)",
+        )
+    )
+
+    # -- 5. against random neighbours ----------------------------------
+    random_result = simulate_search(
+        static,
+        SearchConfig(list_size=20, strategy="random",
+                     track_load=False, seed=args.seed),
+    )
+    lru_result = simulate_search(
+        static,
+        SearchConfig(list_size=20, strategy="lru",
+                     track_load=False, seed=args.seed),
+    )
+    print(
+        f"\nAt 20 neighbours: LRU hits {percent(lru_result.hit_rate)} of "
+        f"queries vs {percent(random_result.hit_rate)} for random lists — "
+        "the gap is the semantic clustering the paper measures."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The environment this repo targets is offline; PEP 660 editable installs
+need ``wheel``, which may be absent.  With this shim, pip falls back to the
+setuptools ``develop`` path (``pip install -e . --no-use-pep517`` also
+works explicitly).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Baseline search mechanisms the paper compares against (implicitly or
+explicitly): Gnutella-style flooding over an unstructured overlay, random
+walks, and centralized server lookup (eDonkey's own first tier).
+
+Section 3 of the paper derives that with the most popular file held by
+under 0.7% of peers, a flooding search must contact ~143 peers on average;
+:mod:`repro.baselines.flooding` reproduces that estimate empirically, and
+the benchmarks compare flooding/random-walk contact counts against semantic
+neighbour lists.
+"""
+
+from repro.baselines.flooding import (
+    FloodingConfig,
+    FloodingSearch,
+    build_overlay,
+    expected_contacts,
+)
+from repro.baselines.random_walk import RandomWalkConfig, RandomWalkSearch
+from repro.baselines.server_search import ServerLookup
+
+__all__ = [
+    "FloodingConfig",
+    "FloodingSearch",
+    "RandomWalkConfig",
+    "RandomWalkSearch",
+    "ServerLookup",
+    "build_overlay",
+    "expected_contacts",
+]

@@ -1,0 +1,103 @@
+"""Random-walk search over the same unstructured overlay as flooding.
+
+Random walks trade latency for load: a walk contacts one peer per step,
+so its cost is bounded by the walk length instead of exploding with the
+flood radius.  Included as the standard alternative baseline for
+unstructured search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.flooding import build_overlay
+from repro.trace.model import ClientId, FileId, StaticTrace
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive
+
+
+@dataclass
+class RandomWalkConfig:
+    """Overlay degree, number of parallel walkers and per-walker steps."""
+
+    degree: int = 4
+    walkers: int = 4
+    steps: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("degree", self.degree)
+        check_positive("walkers", self.walkers)
+        check_positive("steps", self.steps)
+
+
+@dataclass
+class WalkResult:
+    hit: bool
+    contacted: int
+
+
+class RandomWalkSearch:
+    """k parallel random walks with step budgets."""
+
+    def __init__(
+        self,
+        trace: StaticTrace,
+        config: Optional[RandomWalkConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.trace = trace
+        self.config = config or RandomWalkConfig()
+        self.rng = RngStream(seed, "random-walk")
+        self.peers = sorted(trace.caches)
+        self.overlay = build_overlay(self.peers, self.config.degree, self.rng)
+
+    def search(self, start: ClientId, file_id: FileId) -> WalkResult:
+        caches = self.trace.caches
+        contacted = 0
+        for walker in range(self.config.walkers):
+            walk_rng = self.rng.child(f"walk[{start}/{walker}]")
+            current = start
+            for _ in range(self.config.steps):
+                neighbours = self.overlay.get(current, [])
+                if not neighbours:
+                    break
+                current = neighbours[walk_rng.py.randrange(len(neighbours))]
+                contacted += 1
+                if file_id in caches.get(current, frozenset()):
+                    return WalkResult(hit=True, contacted=contacted)
+        return WalkResult(hit=False, contacted=contacted)
+
+
+def measure_random_walk(
+    trace: StaticTrace,
+    num_queries: int = 200,
+    config: Optional[RandomWalkConfig] = None,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Monte-Carlo hit rate / contact cost of random-walk search."""
+    search = RandomWalkSearch(trace, config=config, seed=seed)
+    rng = RngStream(seed, "walk-queries")
+    replica_slots: list[Tuple[ClientId, FileId]] = [
+        (peer, fid)
+        for peer, cache in trace.caches.items()
+        if cache
+        for fid in sorted(cache)
+    ]
+    if not replica_slots:
+        raise ValueError("trace has no replicas")
+    hits = 0
+    total_contacts = 0
+    for _ in range(num_queries):
+        owner, file_id = replica_slots[rng.py.randrange(len(replica_slots))]
+        requester = search.peers[rng.py.randrange(len(search.peers))]
+        if requester == owner:
+            continue
+        result = search.search(requester, file_id)
+        hits += int(result.hit)
+        total_contacts += result.contacted
+    return {
+        "queries": float(num_queries),
+        "hit_rate": hits / num_queries,
+        "mean_contacts": total_contacts / num_queries,
+    }

@@ -1,0 +1,68 @@
+"""Centralized server lookup — eDonkey's own first tier, as a baseline.
+
+A central index maps every file to its current sources, so any file with at
+least one source is found with a single query.  It is the upper bound on
+hit rate (and the thing the semantic-neighbour design tries to make
+unnecessary); its cost model is one message to the server per request plus
+the server's index memory.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.trace.model import ClientId, FileId, StaticTrace
+
+
+@dataclass
+class LookupStats:
+    queries: int = 0
+    hits: int = 0
+    index_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+
+class ServerLookup:
+    """A central file -> sources index with publish/unpublish."""
+
+    def __init__(self) -> None:
+        self._index: Dict[FileId, Set[ClientId]] = defaultdict(set)
+        self.stats = LookupStats()
+
+    @classmethod
+    def from_trace(cls, trace: StaticTrace) -> "ServerLookup":
+        lookup = cls()
+        for client_id, cache in trace.caches.items():
+            for fid in cache:
+                lookup.publish(client_id, fid)
+        return lookup
+
+    def publish(self, client_id: ClientId, file_id: FileId) -> None:
+        self._index[file_id].add(client_id)
+        self.stats.index_entries += 1
+
+    def unpublish(self, client_id: ClientId, file_id: FileId) -> None:
+        sources = self._index.get(file_id)
+        if sources is not None:
+            sources.discard(client_id)
+            if not sources:
+                del self._index[file_id]
+
+    def lookup(self, file_id: FileId, exclude: Optional[ClientId] = None) -> List[ClientId]:
+        """All current sources of ``file_id`` (one round-trip)."""
+        self.stats.queries += 1
+        sources = [
+            c for c in sorted(self._index.get(file_id, set())) if c != exclude
+        ]
+        if sources:
+            self.stats.hits += 1
+        return sources
+
+    def index_size(self) -> int:
+        """Number of live (file, source) entries — the server's memory cost."""
+        return sum(len(s) for s in self._index.values())

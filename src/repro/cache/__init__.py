@@ -1,0 +1,33 @@
+"""AS-level caching — the PeerCache opportunity of Section 4.1.
+
+The paper observes that 54% of clients sit in five autonomous systems and
+that files cluster geographically, and points to *PeerCache*: an
+operator-deployed cache shared by the clients of one AS ("to avoid the
+issue of network operators storing potential illegal contents, caches may
+contain index rather than content").  This package quantifies that
+opportunity on reproduction workloads:
+
+- **index mode** (:class:`~repro.cache.peercache.AsIndexCache`): the AS
+  box only remembers *which local peers share which file*; a request is
+  served intra-AS when a local source exists — measuring exactly the
+  locality the paper's Figure 12 promises;
+- **content mode** (:class:`~repro.cache.peercache.AsContentCache`): the
+  box stores file bytes under a capacity budget with LRU eviction —
+  measuring how much transit-link traffic a real cache would absorb.
+"""
+
+from repro.cache.peercache import (
+    AsContentCache,
+    AsIndexCache,
+    PeerCacheConfig,
+    PeerCacheResult,
+    simulate_peercache,
+)
+
+__all__ = [
+    "AsContentCache",
+    "AsIndexCache",
+    "PeerCacheConfig",
+    "PeerCacheResult",
+    "simulate_peercache",
+]

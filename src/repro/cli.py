@@ -1,0 +1,371 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows:
+
+- ``generate``   — generate a synthetic trace and save it to a file;
+- ``stats``      — print Table-1 style characteristics of a saved trace;
+- ``analyze``    — run a clustering analysis on a saved or fresh trace;
+- ``search``     — run the semantic-search simulation;
+- ``experiment`` — reproduce a specific paper table/figure by id;
+- ``crawl``      — run the protocol-level network + crawler simulation.
+
+Every command takes ``--seed`` and prints deterministic output, so CLI
+runs are reproducible and scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.configs import Scale, workload_config
+
+
+def _scale(name: str) -> Scale:
+    return {"small": Scale.SMALL, "default": Scale.DEFAULT, "large": Scale.LARGE}[name]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--scale",
+        choices=["small", "default", "large"],
+        default="small",
+        help="workload scale preset",
+    )
+
+
+# ----------------------------------------------------------------------
+# generate
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.trace.io import save_trace
+    from repro.workload.generator import SyntheticWorkloadGenerator
+
+    config = workload_config(_scale(args.scale))
+    generator = SyntheticWorkloadGenerator(config=config, seed=args.seed)
+    print(
+        f"Generating {args.scale} trace "
+        f"({config.num_clients} clients, {config.num_files} files, "
+        f"{config.days} days)..."
+    )
+    trace = generator.generate()
+    if args.anonymize:
+        from repro.trace.io import anonymize
+
+        trace = anonymize(trace)
+    save_trace(trace, args.output)
+    print(f"Wrote {trace.num_snapshots} snapshots to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# stats
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.trace.extrapolation import extrapolate
+    from repro.trace.filtering import filter_duplicates
+    from repro.trace.io import load_trace
+    from repro.trace.stats import general_characteristics
+    from repro.util.tables import format_table, percent
+
+    trace = load_trace(args.trace)
+    filtered = filter_duplicates(trace)
+    extrapolated = extrapolate(filtered)
+    rows = []
+    for label, variant in (
+        ("full", trace),
+        ("filtered", filtered),
+        ("extrapolated", extrapolated),
+    ):
+        chars = general_characteristics(variant)
+        rows.append(
+            (
+                label,
+                chars.duration_days,
+                chars.num_clients,
+                percent(chars.free_rider_fraction),
+                chars.num_distinct_files,
+                chars.num_snapshots,
+            )
+        )
+    print(
+        format_table(
+            ("trace", "days", "clients", "free-riders", "files", "snapshots"),
+            rows,
+            title=f"Characteristics of {args.trace}",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# analyze
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.geographic import top_as_table
+    from repro.analysis.semantic import clustering_correlation
+    from repro.trace.filtering import filter_duplicates
+    from repro.trace.io import load_trace
+    from repro.util.tables import format_table, percent, render_series
+    from repro.workload.generator import SyntheticWorkloadGenerator
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        config = workload_config(_scale(args.scale))
+        trace = SyntheticWorkloadGenerator(config=config, seed=args.seed).generate()
+    filtered = filter_duplicates(trace)
+
+    rows = [
+        (r.asn, percent(r.global_share), percent(r.national_share), r.country)
+        for r in top_as_table(filtered, 5)
+    ]
+    print(format_table(("AS", "global", "national", "country"), rows,
+                       title="Top autonomous systems"))
+
+    static = filtered.to_static()
+    series = clustering_correlation(dict(static.caches), name="clustering")
+    print()
+    print(render_series([series], title="P(another common file | n common), %:",
+                        max_points=10))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# search
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.search import SearchConfig, simulate_search
+    from repro.trace.filtering import filter_duplicates
+    from repro.trace.io import load_trace
+    from repro.util.tables import format_table, percent
+    from repro.workload.generator import SyntheticWorkloadGenerator
+
+    if args.trace:
+        static = filter_duplicates(load_trace(args.trace)).to_static()
+    else:
+        config = workload_config(_scale(args.scale))
+        generator = SyntheticWorkloadGenerator(config=config, seed=args.seed)
+        static = generator.generate_static()
+        aliases = [
+            p.meta.client_id for p in generator.profiles if p.alias_of is not None
+        ]
+        static = static.without_clients(aliases)
+
+    rows = []
+    for list_size in args.list_sizes:
+        result = simulate_search(
+            static,
+            SearchConfig(
+                list_size=list_size,
+                strategy=args.strategy,
+                two_hop=args.two_hop,
+                track_load=False,
+                seed=args.seed,
+            ),
+        )
+        rows.append((list_size, result.rates.requests, percent(result.hit_rate)))
+    hop = "two-hop" if args.two_hop else "one-hop"
+    print(
+        format_table(
+            ("neighbours", "requests", "hit rate"),
+            rows,
+            title=f"{args.strategy.upper()} semantic search ({hop})",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# experiment
+
+
+EXPERIMENT_IDS = {
+    "table1": "run_table1",
+    "table2": "run_table2",
+    "table3": "run_table3",
+    "fig1": "run_figure01",
+    "fig2": "run_figure02",
+    "fig3": "run_figure03",
+    "fig4": "run_figure04",
+    "fig5": "run_figure05",
+    "fig6": "run_figure06",
+    "fig7": "run_figure07",
+    "fig8": "run_figure08",
+    "fig9": "run_figure09_10",
+    "fig10": "run_figure09_10",
+    "fig11": "run_figure11",
+    "fig12": "run_figure12",
+    "fig13": "run_figure13",
+    "fig14": "run_figure14",
+    "fig15": "run_figure15_17",
+    "fig16": "run_figure15_17",
+    "fig17": "run_figure15_17",
+    "fig18": "run_figure18",
+    "fig19": "run_figure19",
+    "fig20": "run_figure20",
+    "fig21": "run_figure21",
+    "fig22": "run_figure22",
+    "fig23": "run_figure23",
+    "flooding": "run_flooding_estimate",
+    # extensions
+    "overlay": "run_gossip_overlay",
+    "overlay-vs-reactive": "run_overlay_vs_reactive",
+    "peercache": "run_peercache",
+    "strategies": "run_strategy_comparison",
+    "availability": "run_availability_sweep",
+    "exchange": "run_exchange_graph",
+    "extrapolation": "run_extrapolation_ablation",
+    "live": "run_live_semantic",
+    "mechanisms": "run_mechanism_comparison",
+    "cost-benefit": "run_cost_benefit",
+    "sensitivity": "run_loyalty_sensitivity",
+}
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    runner_name = EXPERIMENT_IDS.get(args.id)
+    if runner_name is None:
+        print(f"unknown experiment {args.id!r}; choose from: "
+              + ", ".join(sorted(EXPERIMENT_IDS)), file=sys.stderr)
+        return 2
+    runner = getattr(experiments, runner_name)
+    result = runner(scale=_scale(args.scale))
+    print(result.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# calibrate
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.trace.io import load_trace
+    from repro.workload.calibration import (
+        all_passed,
+        calibration_report,
+        render_report,
+    )
+    from repro.workload.generator import SyntheticWorkloadGenerator
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        config = workload_config(_scale(args.scale))
+        trace = SyntheticWorkloadGenerator(config=config, seed=args.seed).generate()
+    checks = calibration_report(trace)
+    print(render_report(checks))
+    return 0 if all_passed(checks) else 1
+
+
+# ----------------------------------------------------------------------
+# crawl
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.edonkey.crawler import Crawler, CrawlerConfig
+    from repro.edonkey.network import NetworkConfig, build_network
+    from repro.trace.io import save_trace
+    from repro.trace.stats import general_characteristics
+    from repro.util.tables import percent
+
+    workload = dataclasses.replace(
+        workload_config(Scale.SMALL),
+        num_clients=args.clients,
+        num_files=max(args.clients * 15, 500),
+        days=args.days,
+        mainstream_pool_size=min(args.clients, max(args.clients * 15, 500)),
+    )
+    network = build_network(NetworkConfig(workload=workload), seed=args.seed)
+    crawler = Crawler(network, CrawlerConfig(days=args.days), seed=args.seed)
+    print(f"Crawling {args.clients} clients for {args.days} days...")
+    trace = crawler.crawl()
+    chars = general_characteristics(trace)
+    print(
+        f"Collected {chars.num_snapshots} snapshots of {chars.num_clients} "
+        f"clients ({percent(chars.free_rider_fraction)} free-riders), "
+        f"{chars.num_distinct_files} files."
+    )
+    if args.output:
+        save_trace(trace, args.output)
+        print(f"Wrote trace to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Peer Sharing Behaviour in the "
+        "eDonkey Network' (EuroSys 2006)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("generate", help="generate a synthetic trace")
+    _add_common(p)
+    p.add_argument("--output", "-o", required=True, help="output path (.jsonl[.gz])")
+    p.add_argument("--anonymize", action="store_true",
+                   help="hash IPs/UIDs/nicknames before saving")
+    p.set_defaults(func=cmd_generate)
+
+    p = subparsers.add_parser("stats", help="summarize a saved trace")
+    p.add_argument("trace", help="path to a saved trace")
+    p.set_defaults(func=cmd_stats)
+
+    p = subparsers.add_parser("analyze", help="clustering analysis")
+    _add_common(p)
+    p.add_argument("--trace", help="path to a saved trace (else synthesize)")
+    p.set_defaults(func=cmd_analyze)
+
+    p = subparsers.add_parser("search", help="semantic-search simulation")
+    _add_common(p)
+    p.add_argument("--trace", help="path to a saved trace (else synthesize)")
+    p.add_argument("--strategy", choices=["lru", "history", "random", "popularity"],
+                   default="lru")
+    p.add_argument("--two-hop", action="store_true")
+    p.add_argument("--list-sizes", type=int, nargs="+", default=[5, 10, 20])
+    p.set_defaults(func=cmd_search)
+
+    p = subparsers.add_parser("experiment", help="reproduce a paper artefact")
+    _add_common(p)
+    p.add_argument("id", help="artefact id, e.g. fig18, table3, flooding")
+    p.set_defaults(func=cmd_experiment)
+
+    p = subparsers.add_parser(
+        "calibrate", help="check a workload against every paper target"
+    )
+    _add_common(p)
+    p.add_argument("--trace", help="path to a saved trace (else synthesize)")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = subparsers.add_parser("crawl", help="protocol-level crawl simulation")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clients", type=int, default=120)
+    p.add_argument("--days", type=int, default=5)
+    p.add_argument("--output", "-o", help="save the crawled trace here")
+    p.set_defaults(func=cmd_crawl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

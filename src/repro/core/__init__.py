@@ -1,0 +1,54 @@
+"""The paper's primary contribution: server-less search via semantic
+neighbours, plus the trace-randomization machinery used to isolate genuine
+interest-based clustering.
+
+- :mod:`repro.core.neighbours` — strategies for maintaining a peer's list
+  of semantic neighbours (LRU, History, Random benchmark, and the
+  popularity-weighted variant of Voulgaris et al. [30]);
+- :mod:`repro.core.requests` — request-sequence generation from a static
+  trace (Section 5.1's methodology);
+- :mod:`repro.core.search` — the trace-driven simulator: one-hop and
+  two-hop semantic search, hit-rate accounting, per-client query load, and
+  the generous-uploader / popular-file ablations;
+- :mod:`repro.core.randomization` — the appendix's swap-based trace
+  randomization, preserving peer generosity and file popularity while
+  destroying interest structure.
+"""
+
+from repro.core.neighbours import (
+    HistoryNeighbours,
+    LRUNeighbours,
+    NeighbourStrategy,
+    PopularityNeighbours,
+    RandomNeighbours,
+    make_strategy,
+)
+from repro.core.randomization import randomize_trace, swap_once
+from repro.core.requests import Request, generate_requests
+from repro.core.search import (
+    SearchConfig,
+    SearchSimulator,
+    SimulationResult,
+    remove_popular_files,
+    remove_top_uploaders,
+    simulate_search,
+)
+
+__all__ = [
+    "HistoryNeighbours",
+    "LRUNeighbours",
+    "NeighbourStrategy",
+    "PopularityNeighbours",
+    "RandomNeighbours",
+    "Request",
+    "SearchConfig",
+    "SearchSimulator",
+    "SimulationResult",
+    "generate_requests",
+    "make_strategy",
+    "randomize_trace",
+    "remove_popular_files",
+    "remove_top_uploaders",
+    "simulate_search",
+    "swap_once",
+]

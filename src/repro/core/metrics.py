@@ -1,0 +1,86 @@
+"""Hit-rate and query-load accounting for the search simulations."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.trace.model import ClientId
+from repro.util.cdf import Series
+
+
+@dataclass
+class HitRateAccumulator:
+    """Counts search outcomes.
+
+    ``one_hop_hits`` are requests answered by a direct semantic neighbour;
+    ``two_hop_hits`` are requests answered only at the second hop (they are
+    included in ``hits``).  ``contributions`` are first appearances of a
+    file (no search happens).
+    """
+
+    requests: int = 0
+    hits: int = 0
+    one_hop_hits: int = 0
+    two_hop_hits: int = 0
+    contributions: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    @property
+    def one_hop_hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.one_hop_hits / self.requests
+
+
+@dataclass
+class LoadTracker:
+    """Messages (queries) received per client (Figure 22)."""
+
+    messages: Counter = field(default_factory=Counter)
+
+    def record(self, target: ClientId, count: int = 1) -> None:
+        self.messages[target] += count
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def num_loaded_clients(self) -> int:
+        return len(self.messages)
+
+    @property
+    def max_load(self) -> int:
+        if not self.messages:
+            return 0
+        return max(self.messages.values())
+
+    def mean_load(self) -> float:
+        if not self.messages:
+            return 0.0
+        return self.total_messages / len(self.messages)
+
+    def by_rank(self) -> List[Tuple[int, int]]:
+        """``(rank, messages)`` sorted by decreasing load (rank 0 = heaviest)."""
+        ordered = sorted(self.messages.values(), reverse=True)
+        return list(enumerate(ordered))
+
+    def rank_series(self, name: str = "load") -> Series:
+        series = Series(name=name)
+        for rank, load in self.by_rank():
+            series.append(rank, load)
+        return series
+
+    def top_loads(self, k: int = 3) -> List[int]:
+        return sorted(self.messages.values(), reverse=True)[:k]

@@ -1,0 +1,387 @@
+"""The trace-driven semantic-search simulator (Section 5).
+
+Simulation loop (Section 5.1): requests are generated from the static trace
+(see :mod:`repro.core.requests`).  For each request by peer ``p`` for file
+``f``:
+
+1. if nobody currently shares ``f``, ``p`` is the original contributor —
+   ``f`` enters ``p``'s shared cache without a search;
+2. otherwise ``p`` queries its semantic neighbours in list order; the first
+   neighbour sharing ``f`` answers (a **hit**);
+3. in two-hop mode, a one-hop miss continues with the neighbours'
+   neighbours (the semantic overlay of Section 5.3.4);
+4. on a miss, the fall-back mechanism (server / flooding) finds a source
+   uniformly at random among current sharers;
+5. whoever uploaded — hit or fall-back — is recorded in ``p``'s neighbour
+   strategy, and ``f`` is added to ``p``'s shared cache.
+
+The ablations of Sections 5.3.2 (remove the most generous uploaders /
+the most popular files) operate on the input trace before simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.metrics import HitRateAccumulator, LoadTracker
+from repro.core.neighbours import (
+    FixedNeighbours,
+    NeighbourStrategy,
+    make_strategy,
+)
+from repro.core.requests import generate_requests
+from repro.trace.model import ClientId, FileId, StaticTrace
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass
+class SearchConfig:
+    """Parameters of one simulation run.
+
+    ``availability`` models peer churn (the concern of the availability
+    studies the paper cites): every contacted peer is online with this
+    probability, independently per request.  Offline semantic neighbours
+    cannot answer; the fall-back only succeeds if some source is online.
+    Availability below 1 is one-hop only (the two-hop fast path assumes
+    all peers answer).
+    """
+
+    list_size: int = 20
+    strategy: str = "lru"  # lru | history | random | popularity
+    two_hop: bool = False
+    track_load: bool = True
+    weighted_requests: bool = False
+    availability: float = 1.0
+    rare_cutoff: Optional[int] = None  # track a second hit-rate for
+    # requests whose file has <= rare_cutoff replicas in the input trace
+    track_exchanges: bool = False  # record the (uploader -> downloader)
+    # exchange graph for the Section 6 graph analyses
+    #: optional per-peer initial neighbour lists (e.g. converged gossip
+    #: views).  With strategy "fixed" the lists never change; with the
+    #: learning strategies they warm-start the list state.
+    initial_lists: Optional[Dict[ClientId, List[ClientId]]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("list_size", self.list_size)
+        check_fraction("availability", self.availability)
+        if self.availability < 1.0 and self.two_hop:
+            raise ValueError(
+                "availability modelling is one-hop only; disable two_hop"
+            )
+        if self.strategy == "fixed" and self.initial_lists is None:
+            raise ValueError("strategy 'fixed' requires initial_lists")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run.
+
+    ``unresolvable`` counts requests where no source at all was online
+    (only nonzero when ``availability < 1``); they are excluded from the
+    hit-rate denominator because no mechanism could have served them.
+    """
+
+    config: SearchConfig
+    rates: HitRateAccumulator
+    load: LoadTracker
+    num_peers: int
+    num_files: int
+    unresolvable: int = 0
+    rare_rates: Optional[HitRateAccumulator] = None
+    #: (uploader, downloader) -> number of uploads, when track_exchanges
+    exchanges: Optional[Dict[Tuple[ClientId, ClientId], int]] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.rates.hit_rate
+
+    def summary(self) -> str:
+        pieces = [
+            f"strategy={self.config.strategy}",
+            f"list={self.config.list_size}",
+            f"requests={self.rates.requests}",
+            f"hit_rate={100 * self.rates.hit_rate:.1f}%",
+        ]
+        if self.config.two_hop:
+            pieces.append(
+                f"one_hop_rate={100 * self.rates.one_hop_hit_rate:.1f}%"
+            )
+        return " ".join(pieces)
+
+
+class SearchSimulator:
+    """Runs the Section 5 methodology over a static trace."""
+
+    def __init__(self, trace: StaticTrace, config: Optional[SearchConfig] = None) -> None:
+        self.trace = trace
+        self.config = config or SearchConfig()
+        self.rng = RngStream(self.config.seed, "search")
+        self._strategies: Dict[ClientId, NeighbourStrategy] = {}
+        self._shared: Dict[ClientId, Set[FileId]] = {}
+        self._sharers_of: Dict[FileId, List[ClientId]] = {}
+        self._sharer_peers: List[ClientId] = []  # peers sharing >= 1 file
+        self._sharer_seen: Set[ClientId] = set()
+
+    # ------------------------------------------------------------------
+    # State helpers
+
+    def _strategy_for(self, peer: ClientId) -> NeighbourStrategy:
+        strategy = self._strategies.get(peer)
+        if strategy is None:
+            initial = (
+                self.config.initial_lists.get(peer, [])
+                if self.config.initial_lists is not None
+                else []
+            )
+            if self.config.strategy == "fixed":
+                strategy = FixedNeighbours(self.config.list_size, initial)
+            else:
+                strategy = make_strategy(
+                    self.config.strategy,
+                    self.config.list_size,
+                    rng=self.rng.child(f"random[{peer}]"),
+                    population=lambda: self._sharer_peers,
+                    owner=peer,
+                )
+                # Warm start: feed the initial list as synthetic uploads,
+                # last entry first so the list head ends up at the head.
+                for neighbour in reversed(initial):
+                    strategy.record_upload(neighbour)
+            self._strategies[peer] = strategy
+        return strategy
+
+    def _add_to_cache(self, peer: ClientId, file_id: FileId) -> None:
+        self._shared.setdefault(peer, set()).add(file_id)
+        self._sharers_of.setdefault(file_id, []).append(peer)
+        if peer not in self._sharer_seen:
+            self._sharer_seen.add(peer)
+            self._sharer_peers.append(peer)
+
+    def shares(self, peer: ClientId, file_id: FileId) -> bool:
+        return file_id in self._shared.get(peer, ())
+
+    # ------------------------------------------------------------------
+    # Query paths
+
+    def _query_one_hop(
+        self,
+        peer: ClientId,
+        file_id: FileId,
+        load: Optional[LoadTracker],
+        online=None,
+    ) -> Tuple[Optional[ClientId], List[ClientId]]:
+        """Query neighbours in order; return (answerer, queried list).
+
+        ``online`` is an optional predicate; offline neighbours are
+        contacted (the message is sent) but never answer."""
+        neighbours = list(self._strategy_for(peer).ordered())
+        queried: List[ClientId] = []
+        for neighbour in neighbours:
+            queried.append(neighbour)
+            if load is not None:
+                load.record(neighbour)
+            if online is not None and not online(neighbour):
+                continue
+            if self.shares(neighbour, file_id):
+                return neighbour, queried
+        return None, queried
+
+    def _query_two_hop(
+        self,
+        peer: ClientId,
+        file_id: FileId,
+        first_hop: Sequence[ClientId],
+        load: Optional[LoadTracker],
+    ) -> Optional[ClientId]:
+        """Query the neighbours' neighbours after a one-hop miss.
+
+        Second-hop peers are visited in the order induced by the first-hop
+        list; duplicates, ``peer`` itself and already-queried first-hop
+        neighbours are skipped.
+        """
+        sharers = self._sharers_of.get(file_id, ())
+        if load is None and len(sharers) * max(1, len(first_hop)) < _fast_path_budget(
+            self.config.list_size
+        ):
+            # Fast path (no message accounting): a sharer is reachable at
+            # two hops iff it sits in some first-hop neighbour's list.
+            for sharer in sharers:
+                if sharer == peer:
+                    continue
+                for neighbour in first_hop:
+                    if self._strategy_for(neighbour).contains(sharer):
+                        return sharer
+            return None
+
+        seen: Set[ClientId] = set(first_hop)
+        seen.add(peer)
+        for neighbour in first_hop:
+            for second in self._strategy_for(neighbour).ordered():
+                if second in seen:
+                    continue
+                seen.add(second)
+                if load is not None:
+                    load.record(second)
+                if self.shares(second, file_id):
+                    return second
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+
+    def run(self) -> SimulationResult:
+        config = self.config
+        rates = HitRateAccumulator()
+        load = LoadTracker()
+        load_sink = load if config.track_load else None
+        request_rng = self.rng.child("requests")
+        avail_rng = self.rng.child("availability")
+        model_churn = config.availability < 1.0
+        unresolvable = 0
+        rare_rates: Optional[HitRateAccumulator] = None
+        rare_files: Set[FileId] = set()
+        if config.rare_cutoff is not None:
+            rare_rates = HitRateAccumulator()
+            counts = self.trace.replica_counts()
+            rare_files = {
+                f for f, c in counts.items() if c <= config.rare_cutoff
+            }
+        exchanges: Optional[Dict[Tuple[ClientId, ClientId], int]] = (
+            {} if config.track_exchanges else None
+        )
+
+        for request in generate_requests(
+            self.trace, request_rng, weighted_by_cache=config.weighted_requests
+        ):
+            peer, file_id = request.peer, request.file_id
+            sharers = self._sharers_of.get(file_id)
+            if not sharers:
+                # Original contributor: the file enters the system here.
+                rates.contributions += 1
+                self._add_to_cache(peer, file_id)
+                continue
+
+            online = None
+            if model_churn:
+                # One coherent online/offline draw per peer per request.
+                statuses: Dict[ClientId, bool] = {}
+
+                def online(target, _statuses=statuses):  # noqa: E731
+                    status = _statuses.get(target)
+                    if status is None:
+                        status = avail_rng.py.random() < config.availability
+                        _statuses[target] = status
+                    return status
+
+                online_sharers = [s for s in sharers if online(s)]
+                if not online_sharers:
+                    # Nobody holding the file is online: no mechanism can
+                    # serve this request.  The peer is assumed to retry
+                    # once a source returns, so the file still enters its
+                    # cache, but no list learning happens.
+                    unresolvable += 1
+                    self._add_to_cache(peer, file_id)
+                    continue
+            else:
+                online_sharers = sharers
+
+            rates.requests += 1
+            is_rare = rare_rates is not None and file_id in rare_files
+            if is_rare:
+                rare_rates.requests += 1
+            answerer, first_hop = self._query_one_hop(
+                peer, file_id, load_sink, online=online
+            )
+            if answerer is not None:
+                rates.hits += 1
+                rates.one_hop_hits += 1
+                if is_rare:
+                    rare_rates.hits += 1
+                    rare_rates.one_hop_hits += 1
+            elif config.two_hop:
+                answerer = self._query_two_hop(peer, file_id, first_hop, load_sink)
+                if answerer is not None:
+                    rates.hits += 1
+                    rates.two_hop_hits += 1
+                    if is_rare:
+                        rare_rates.hits += 1
+                        rare_rates.two_hop_hits += 1
+
+            if answerer is None:
+                # Fall-back search (server or flooding) picks a source
+                # uniformly among currently online sharers.
+                answerer = online_sharers[
+                    self.rng.py.randrange(len(online_sharers))
+                ]
+
+            self._strategy_for(peer).record_upload(
+                answerer, popularity=len(sharers)
+            )
+            if exchanges is not None:
+                edge = (answerer, peer)
+                exchanges[edge] = exchanges.get(edge, 0) + 1
+            self._add_to_cache(peer, file_id)
+
+        return SimulationResult(
+            config=config,
+            rates=rates,
+            load=load,
+            num_peers=self.trace.num_clients,
+            num_files=len(self.trace.distinct_files()),
+            unresolvable=unresolvable,
+            rare_rates=rare_rates,
+            exchanges=exchanges,
+        )
+
+
+def _fast_path_budget(list_size: int) -> int:
+    """Work threshold below which the sharer-side two-hop check is cheaper
+    than enumerating up to ``list_size**2`` second-hop contacts."""
+    return list_size * list_size
+
+
+def simulate_search(
+    trace: StaticTrace, config: Optional[SearchConfig] = None
+) -> SimulationResult:
+    """One-call helper: build a simulator and run it."""
+    return SearchSimulator(trace, config).run()
+
+
+# ----------------------------------------------------------------------
+# Trace ablations (Sections 5.3.2 / 5.3.3)
+
+
+def rank_uploaders(trace: StaticTrace) -> List[ClientId]:
+    """Non-free-riders sorted by decreasing generosity (files shared)."""
+    generosity = trace.generosity()
+    sharers = [c for c, g in generosity.items() if g > 0]
+    return sorted(sharers, key=lambda c: (-generosity[c], c))
+
+
+def remove_top_uploaders(trace: StaticTrace, fraction: float) -> StaticTrace:
+    """Drop the top ``fraction`` of non-free-riders by files shared.
+
+    Mirrors "removal of the 5, 10 and 15% most generous uploaders from the
+    non free-riders": the percentage is taken over sharers only.
+    """
+    check_fraction("fraction", fraction)
+    ranked = rank_uploaders(trace)
+    cutoff = int(round(fraction * len(ranked)))
+    return trace.without_clients(ranked[:cutoff])
+
+
+def rank_files_by_popularity(trace: StaticTrace) -> List[FileId]:
+    """Files sorted by decreasing replica count (ties by id)."""
+    counts = trace.replica_counts()
+    return sorted(counts, key=lambda f: (-counts[f], f))
+
+
+def remove_popular_files(trace: StaticTrace, fraction: float) -> StaticTrace:
+    """Drop the top ``fraction`` of files by replica count from every cache."""
+    check_fraction("fraction", fraction)
+    ranked = rank_files_by_popularity(trace)
+    cutoff = int(round(fraction * len(ranked)))
+    return trace.without_files(ranked[:cutoff])

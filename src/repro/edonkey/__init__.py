@@ -1,0 +1,44 @@
+"""eDonkey network simulation substrate.
+
+This package implements the system the paper *measured*: a scaled-down but
+protocol-faithful eDonkey network — index servers, clients, the hash scheme
+(MD4 per RFC 1320 plus 9.5 MB block hashing), message-level client/server
+and client/client interactions — and the *crawler* the authors built on top
+of MLdonkey, including the parts the paper calls out explicitly:
+
+- servers answer ``query-users`` nickname searches only if they implement
+  the (old) feature, and cap replies at 200 users;
+- the crawler sweeps nickname queries from ``"aaa"`` to ``"zzz"``;
+- firewalled ("low-ID") clients are filtered out because the crawler cannot
+  connect to them;
+- clients may disable cache browsing, in which case the browse fails.
+
+Running :class:`~repro.edonkey.crawler.Crawler` over a simulated network
+produces a :class:`~repro.trace.model.Trace` — the same artefact the
+synthetic generator emits — so the whole analysis pipeline can run
+end-to-end against the protocol-level substrate.
+"""
+
+from repro.edonkey.client import Client, ClientConfig
+from repro.edonkey.crawler import Crawler, CrawlerConfig
+from repro.edonkey.hashing import BLOCK_SIZE, ed2k_hash, block_hashes
+from repro.edonkey.md4 import MD4, md4_hex
+from repro.edonkey.network import Network, NetworkConfig, build_network
+from repro.edonkey.server import Server, ServerConfig
+
+__all__ = [
+    "BLOCK_SIZE",
+    "Client",
+    "ClientConfig",
+    "Crawler",
+    "CrawlerConfig",
+    "MD4",
+    "Network",
+    "NetworkConfig",
+    "Server",
+    "ServerConfig",
+    "block_hashes",
+    "build_network",
+    "ed2k_hash",
+    "md4_hex",
+]

@@ -1,0 +1,156 @@
+"""MD4 message digest, from scratch per RFC 1320.
+
+eDonkey identifies files by MD4: each 9.5 MB block is MD4-hashed and the
+file identifier is the MD4 of the concatenated block digests.  ``hashlib``
+builds frequently ship without MD4 (OpenSSL moved it to the legacy
+provider), so the substrate carries its own implementation.
+
+The implementation follows RFC 1320's reference description: three rounds of
+16 operations over 512-bit blocks, little-endian throughout.  It passes the
+RFC's appendix test vectors (see ``tests/edonkey/test_md4.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+
+def _lrot(value: int, count: int) -> int:
+    value &= _MASK
+    return ((value << count) | (value >> (32 - count))) & _MASK
+
+
+def _f(x: int, y: int, z: int) -> int:
+    return (x & y) | (~x & z)
+
+
+def _g(x: int, y: int, z: int) -> int:
+    return (x & y) | (x & z) | (y & z)
+
+
+def _h(x: int, y: int, z: int) -> int:
+    return x ^ y ^ z
+
+
+class MD4:
+    """Incremental MD4 with the familiar ``update()`` / ``digest()`` API.
+
+    Example::
+
+        >>> MD4(b"abc").hexdigest()
+        'a448017aaf21d8525fc10ae87aa6729d'
+    """
+
+    digest_size = 16
+    block_size = 64
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476]
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("MD4 input must be bytes-like")
+        data = bytes(data)
+        self._length += len(data)
+        buf = self._buffer + data
+        offset = 0
+        while offset + 64 <= len(buf):
+            self._compress(buf[offset : offset + 64])
+            offset += 64
+        self._buffer = buf[offset:]
+
+    def _compress(self, block: bytes) -> None:
+        x = list(struct.unpack("<16I", block))
+        a, b, c, d = self._state
+
+        # Round 1: F, shifts 3/7/11/19, message order 0..15.
+        for i in range(16):
+            k = i
+            s = (3, 7, 11, 19)[i % 4]
+            if i % 4 == 0:
+                a = _lrot(a + _f(b, c, d) + x[k], s)
+            elif i % 4 == 1:
+                d = _lrot(d + _f(a, b, c) + x[k], s)
+            elif i % 4 == 2:
+                c = _lrot(c + _f(d, a, b) + x[k], s)
+            else:
+                b = _lrot(b + _f(c, d, a) + x[k], s)
+
+        # Round 2: G + 0x5A827999, shifts 3/5/9/13, column-major order.
+        order2 = (0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15)
+        for i in range(16):
+            k = order2[i]
+            s = (3, 5, 9, 13)[i % 4]
+            if i % 4 == 0:
+                a = _lrot(a + _g(b, c, d) + x[k] + 0x5A827999, s)
+            elif i % 4 == 1:
+                d = _lrot(d + _g(a, b, c) + x[k] + 0x5A827999, s)
+            elif i % 4 == 2:
+                c = _lrot(c + _g(d, a, b) + x[k] + 0x5A827999, s)
+            else:
+                b = _lrot(b + _g(c, d, a) + x[k] + 0x5A827999, s)
+
+        # Round 3: H + 0x6ED9EBA1, shifts 3/9/11/15, bit-reversed order.
+        order3 = (0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15)
+        for i in range(16):
+            k = order3[i]
+            s = (3, 9, 11, 15)[i % 4]
+            if i % 4 == 0:
+                a = _lrot(a + _h(b, c, d) + x[k] + 0x6ED9EBA1, s)
+            elif i % 4 == 1:
+                d = _lrot(d + _h(a, b, c) + x[k] + 0x6ED9EBA1, s)
+            elif i % 4 == 2:
+                c = _lrot(c + _h(d, a, b) + x[k] + 0x6ED9EBA1, s)
+            else:
+                b = _lrot(b + _h(c, d, a) + x[k] + 0x6ED9EBA1, s)
+
+        self._state = [
+            (self._state[0] + a) & _MASK,
+            (self._state[1] + b) & _MASK,
+            (self._state[2] + c) & _MASK,
+            (self._state[3] + d) & _MASK,
+        ]
+
+    def digest(self) -> bytes:
+        # Work on copies so digest() can be called repeatedly / interleaved
+        # with update().
+        clone = MD4.__new__(MD4)
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+
+        bit_length = clone._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - clone._length) % 64)
+        tail = padding + struct.pack("<Q", bit_length)
+        buf = clone._buffer + tail
+        offset = 0
+        while offset + 64 <= len(buf):
+            clone._compress(buf[offset : offset + 64])
+            offset += 64
+        return struct.pack("<4I", *clone._state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "MD4":
+        clone = MD4.__new__(MD4)
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def md4_digest(data: bytes) -> bytes:
+    """One-shot MD4 of ``data``."""
+    return MD4(data).digest()
+
+
+def md4_hex(data: bytes) -> str:
+    """One-shot hex MD4 of ``data``."""
+    return MD4(data).hexdigest()

@@ -1,0 +1,288 @@
+"""The simulated eDonkey network: message router + day clock + builder.
+
+The network owns servers and clients, routes messages between them
+(counting traffic), refuses inbound client connections to firewalled peers,
+and advances a day clock under which client caches churn (content comes
+from a :class:`~repro.workload.generator.SyntheticWorkloadGenerator`, so the
+substrate and the statistical generator share one content model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.edonkey.client import Client, ClientConfig
+from repro.edonkey.messages import (
+    BlockRequest,
+    BrowseRequest,
+    CallbackRequest,
+    ConnectRequest,
+    FileDescription,
+    FileStatusRequest,
+    MessageStats,
+    PublishFiles,
+    QuerySources,
+    QueryUsers,
+    SearchRequest,
+    ServerListRequest,
+    UdpSearchRequest,
+)
+from repro.edonkey.server import Server, ServerConfig
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+@dataclass
+class NetworkConfig:
+    """Topology and behaviour of the simulated network."""
+
+    num_servers: int = 3
+    firewalled_fraction: float = 0.25
+    browse_disabled_fraction: float = 0.15
+    query_users_support_fraction: float = 0.7  # fraction of *old* servers
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    # Live semantic-links extension (the paper's announced MLdonkey work):
+    # build SemanticClient peers instead of plain clients.
+    semantic_clients: bool = False
+    semantic_strategy: str = "lru"
+    semantic_list_size: int = 10
+    # Session churn: clients go offline/online daily according to their
+    # availability profile (the turnover the Overnet study measures).
+    # Offline clients are unreachable and unpublished from their server.
+    session_churn: bool = False
+    # Failure injection: fraction of clients whose uploads are corrupted
+    # (bad block checksums).  Downloaders detect the corruption via the
+    # MD4 block hashes and retry other sources.
+    corrupt_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("num_servers", self.num_servers)
+        check_fraction("firewalled_fraction", self.firewalled_fraction)
+        check_fraction("browse_disabled_fraction", self.browse_disabled_fraction)
+        check_fraction(
+            "query_users_support_fraction", self.query_users_support_fraction
+        )
+        check_positive("semantic_list_size", self.semantic_list_size)
+        check_fraction("corrupt_fraction", self.corrupt_fraction)
+
+
+class Network:
+    """Routes messages, tracks traffic, and advances simulated days."""
+
+    def __init__(self, generator: SyntheticWorkloadGenerator, config: NetworkConfig) -> None:
+        self.config = config
+        self.generator = generator
+        self.servers: Dict[int, Server] = {}
+        self.clients: Dict[int, Client] = {}
+        self.stats = MessageStats()
+        self.day = generator.config.start_day
+        self._caches: Dict[int, Set[int]] = {}  # client -> file indices
+        self._churn_rng = generator.rng.child("network-churn")
+        self._session_rng = generator.rng.child("network-sessions")
+        self.offline: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    def add_server(self, server: Server) -> None:
+        self.servers[server.server_id] = server
+        for other in self.servers.values():
+            other.learn_servers(self.servers.keys())
+
+    def add_client(self, client: Client) -> None:
+        self.clients[client.client_id] = client
+
+    def to_server(self, server_id: int, message):
+        """Deliver a message to a server; returns the reply (or None)."""
+        self.stats.count(message)
+        server = self.servers.get(server_id)
+        if server is None:
+            return None
+        if isinstance(message, ConnectRequest):
+            return server.handle_connect(message)
+        if isinstance(message, PublishFiles):
+            server.handle_publish(message)
+            return None
+        if isinstance(message, SearchRequest):
+            return server.handle_search(message)
+        if isinstance(message, QuerySources):
+            return server.handle_query_sources(message)
+        if isinstance(message, QueryUsers):
+            return server.handle_query_users(message)
+        if isinstance(message, ServerListRequest):
+            return server.handle_server_list(message)
+        if isinstance(message, UdpSearchRequest):
+            return server.handle_udp_search(message)
+        if isinstance(message, CallbackRequest):
+            return server.handle_callback(message, self)
+        raise TypeError(f"unroutable server message {type(message).__name__}")
+
+    def to_client(self, client_id: int, message):
+        """Deliver a message to a client over a direct TCP connection.
+
+        Returns ``None`` when the connection cannot be established — the
+        target is unknown or sits behind a firewall (low-ID).  The server-
+        mediated callback that real eDonkey uses for firewalled *sources*
+        is modelled in :meth:`callback_to_client`.
+        """
+        self.stats.count(message)
+        client = self.clients.get(client_id)
+        if client is None or client.config.firewalled:
+            return None
+        if client_id in self.offline:
+            return None
+        return self._dispatch_client(client, message)
+
+    def callback_to_client(self, client_id: int, message):
+        """Deliver via the server-forced callback (reaches firewalled peers)."""
+        self.stats.count(message)
+        client = self.clients.get(client_id)
+        if client is None or client_id in self.offline:
+            return None
+        return self._dispatch_client(client, message)
+
+    def _dispatch_client(self, client: Client, message):
+        if isinstance(message, BrowseRequest):
+            return client.handle_browse(message)
+        if isinstance(message, FileStatusRequest):
+            return client.handle_file_status(message)
+        if isinstance(message, BlockRequest):
+            return client.handle_block_request(message)
+        raise TypeError(f"unroutable client message {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Day clock / content churn
+
+    def cache_indices(self, client_id: int) -> Set[int]:
+        return set(self._caches.get(client_id, set()))
+
+    def advance_day(self) -> None:
+        """Advance the clock one day: apply session churn (optional), then
+        churn every online sharer's cache and republish to its server."""
+        self.day += 1
+        profiles = {p.meta.client_id: p for p in self.generator.profiles}
+        if self.config.session_churn:
+            self._apply_session_churn(profiles)
+        for client_id, client in self.clients.items():
+            profile = profiles.get(client_id)
+            if profile is None or profile.free_rider:
+                continue
+            if client_id in self.offline:
+                continue
+            cache = self._caches.setdefault(client_id, set())
+            rng = self._churn_rng.child(f"day[{self.day}]/c[{client_id}]")
+            self.generator.churn_cache(profile, cache, self.day, rng)
+            self._sync_client_cache(client, cache)
+            if client.server_id is not None:
+                client.publish(self)
+
+    def _apply_session_churn(self, profiles) -> None:
+        """Draw each client's online status for the new day.
+
+        Going offline disconnects the client from its server (unpublishing
+        its files and removing it from the nickname index); coming back
+        reconnects and republishes.
+        """
+        for client_id, client in self.clients.items():
+            profile = profiles.get(client_id)
+            if profile is None:
+                continue
+            online = self._session_rng.py.random() < profile.online_prob
+            was_offline = client_id in self.offline
+            if online and was_offline:
+                self.offline.discard(client_id)
+                if client.server_id is not None:
+                    server_id = client.server_id
+                    client.connect(self, server_id)
+            elif not online and not was_offline:
+                self.offline.add(client_id)
+                if client.server_id is not None:
+                    server = self.servers.get(client.server_id)
+                    if server is not None:
+                        server.handle_disconnect(client_id)
+
+    def _sync_client_cache(self, client: Client, indices: Set[int]) -> None:
+        descriptions = {
+            meta.file_id: meta for meta in map(self.generator.file_meta, indices)
+        }
+        # Drop files no longer shared, add new ones as complete.
+        for file_id in list(client.cache):
+            if file_id not in descriptions:
+                client.unshare(file_id)
+        for file_id, meta in descriptions.items():
+            if file_id not in client.cache:
+                client.share(_to_description(meta))
+
+    def seed_initial_caches(self) -> None:
+        """Fill every sharer's cache as of the current day and publish."""
+        for profile in self.generator.profiles:
+            client = self.clients.get(profile.meta.client_id)
+            if client is None or profile.free_rider:
+                continue
+            rng = self._churn_rng.child(f"seed/c[{profile.meta.client_id}]")
+            cache = self.generator.initial_cache(profile, self.day, rng)
+            self._caches[profile.meta.client_id] = cache
+            self._sync_client_cache(client, cache)
+            if client.server_id is not None:
+                client.publish(self)
+
+
+def _to_description(meta) -> FileDescription:
+    return FileDescription(
+        file_id=meta.file_id,
+        name=meta.name or meta.file_id,
+        size=meta.size,
+        kind=meta.kind,
+    )
+
+
+def build_network(
+    config: Optional[NetworkConfig] = None, seed: int = 0
+) -> Network:
+    """Construct a fully connected network: servers, clients (with caches
+    published) and server-list gossip, ready for a crawler run."""
+    config = config or NetworkConfig()
+    generator = SyntheticWorkloadGenerator(config=config.workload, seed=seed)
+    generator.build()
+    network = Network(generator, config)
+    rng = RngStream(seed, "network")
+
+    for i in range(config.num_servers):
+        supports = rng.py.random() < config.query_users_support_fraction
+        server = Server(
+            server_id=i,
+            config=ServerConfig(supports_query_users=supports),
+        )
+        network.add_server(server)
+
+    server_ids = sorted(network.servers)
+    for profile in generator.profiles:
+        client_config = ClientConfig(
+            firewalled=rng.py.random() < config.firewalled_fraction,
+            browseable=rng.py.random() >= config.browse_disabled_fraction,
+            corrupts_uploads=rng.py.random() < config.corrupt_fraction,
+        )
+        if config.semantic_clients:
+            from repro.edonkey.semantic_client import SemanticClient
+
+            client: Client = SemanticClient(
+                client_id=profile.meta.client_id,
+                nickname=profile.meta.nickname,
+                config=client_config,
+                strategy=config.semantic_strategy,
+                list_size=config.semantic_list_size,
+            )
+        else:
+            client = Client(
+                client_id=profile.meta.client_id,
+                nickname=profile.meta.nickname,
+                config=client_config,
+            )
+        network.add_client(client)
+        client.connect(network, server_ids[profile.meta.client_id % len(server_ids)])
+
+    network.seed_initial_caches()
+    return network

@@ -1,0 +1,230 @@
+"""The eDonkey index server.
+
+First-tier node of the hybrid architecture (Section 2.1): indexes the files
+published by connected clients, answers keyword/range searches and source
+queries, propagates the server list, and — on old versions only — answers
+``query-users`` nickname searches with at most 200 users per reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.edonkey.messages import (
+    CallbackRequest,
+    ConnectReply,
+    ConnectRequest,
+    FileDescription,
+    PublishFiles,
+    QuerySources,
+    QueryUsers,
+    SearchReply,
+    SearchRequest,
+    ServerListReply,
+    ServerListRequest,
+    SourcesReply,
+    UdpSearchRequest,
+    UsersReply,
+)
+from repro.util.validation import check_positive
+
+
+@dataclass
+class ServerConfig:
+    """Server capabilities and limits.
+
+    ``supports_query_users`` models the version split the paper relies on:
+    old servers implement nickname search, new ones do not.
+    """
+
+    max_users: int = 200_000
+    reply_limit: int = 200
+    supports_query_users: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("max_users", self.max_users)
+        check_positive("reply_limit", self.reply_limit)
+
+
+@dataclass
+class _Session:
+    nickname: str
+    firewalled: bool
+    files: Dict[str, FileDescription] = field(default_factory=dict)
+
+
+class Server:
+    """An index server: sessions, file index, keyword index, server list."""
+
+    def __init__(self, server_id: int, config: Optional[ServerConfig] = None) -> None:
+        self.server_id = server_id
+        self.config = config or ServerConfig()
+        self._sessions: Dict[int, _Session] = {}
+        self._sources: Dict[str, Set[int]] = {}  # file_id -> client ids
+        self._keywords: Dict[str, Set[str]] = {}  # token -> file ids
+        self._descriptions: Dict[str, FileDescription] = {}
+        self._nick_trigrams: Dict[str, Set[int]] = {}  # trigram -> client ids
+        self.known_servers: Set[int] = {server_id}
+
+    # ------------------------------------------------------------------
+    # Session management
+
+    @property
+    def num_users(self) -> int:
+        return len(self._sessions)
+
+    def connected(self, client_id: int) -> bool:
+        return client_id in self._sessions
+
+    def handle_connect(self, msg: ConnectRequest) -> ConnectReply:
+        if len(self._sessions) >= self.config.max_users:
+            return ConnectReply(accepted=False, reason="server full")
+        self._sessions[msg.client_id] = _Session(
+            nickname=msg.nickname, firewalled=msg.firewalled
+        )
+        for trigram in _trigrams(msg.nickname):
+            self._nick_trigrams.setdefault(trigram, set()).add(msg.client_id)
+        return ConnectReply(accepted=True, server_list=sorted(self.known_servers))
+
+    def handle_disconnect(self, client_id: int) -> None:
+        session = self._sessions.pop(client_id, None)
+        if session is None:
+            return
+        for trigram in _trigrams(session.nickname):
+            bucket = self._nick_trigrams.get(trigram)
+            if bucket is not None:
+                bucket.discard(client_id)
+                if not bucket:
+                    del self._nick_trigrams[trigram]
+        for file_id in session.files:
+            self._remove_source(file_id, client_id)
+
+    def _remove_source(self, file_id: str, client_id: int) -> None:
+        sources = self._sources.get(file_id)
+        if not sources:
+            return
+        sources.discard(client_id)
+        if not sources:
+            del self._sources[file_id]
+            desc = self._descriptions.pop(file_id, None)
+            if desc is not None:
+                for token in desc.tokens():
+                    bucket = self._keywords.get(token)
+                    if bucket is not None:
+                        bucket.discard(file_id)
+                        if not bucket:
+                            del self._keywords[token]
+
+    # ------------------------------------------------------------------
+    # Publishing and search
+
+    def handle_publish(self, msg: PublishFiles) -> None:
+        session = self._sessions.get(msg.client_id)
+        if session is None:
+            raise KeyError(f"client {msg.client_id} not connected")
+        # Re-publication replaces the previous list.
+        for file_id in list(session.files):
+            self._remove_source(file_id, msg.client_id)
+        session.files = {}
+        for desc in msg.files:
+            session.files[desc.file_id] = desc
+            self._sources.setdefault(desc.file_id, set()).add(msg.client_id)
+            if desc.file_id not in self._descriptions:
+                self._descriptions[desc.file_id] = desc
+                for token in desc.tokens():
+                    self._keywords.setdefault(token, set()).add(desc.file_id)
+
+    def handle_search(self, msg: SearchRequest) -> SearchReply:
+        # Narrow the candidate set with the keyword index when the query has
+        # a top-level Keyword / And-of-Keyword structure; otherwise scan.
+        candidates = self._candidate_ids(msg.query)
+        results: List[FileDescription] = []
+        truncated = False
+        for file_id in sorted(candidates):
+            desc = self._descriptions.get(file_id)
+            if desc is None or not msg.query.matches(desc):
+                continue
+            if len(results) >= msg.limit:
+                truncated = True
+                break
+            results.append(desc)
+        return SearchReply(results=results, truncated=truncated)
+
+    def _candidate_ids(self, query) -> Set[str]:
+        from repro.edonkey.messages import And, Keyword
+
+        if isinstance(query, Keyword) and query.field is None:
+            return set(self._keywords.get(query.term.lower(), set()))
+        if isinstance(query, And):
+            narrowed: Optional[Set[str]] = None
+            for part in query.parts:
+                if isinstance(part, Keyword) and part.field is None:
+                    bucket = self._keywords.get(part.term.lower(), set())
+                    narrowed = (
+                        set(bucket) if narrowed is None else narrowed & bucket
+                    )
+            if narrowed is not None:
+                return narrowed
+        return set(self._descriptions)
+
+    def handle_query_sources(self, msg: QuerySources) -> SourcesReply:
+        sources = sorted(self._sources.get(msg.file_id, set()))
+        return SourcesReply(file_id=msg.file_id, sources=sources[: self.config.reply_limit])
+
+    def handle_udp_search(self, msg: UdpSearchRequest) -> SearchReply:
+        """A UDP query from a non-connected client: same index lookup,
+        smaller reply budget (UDP datagrams are small)."""
+        return self.handle_search(
+            SearchRequest(client_id=msg.client_id, query=msg.query, limit=msg.limit)
+        )
+
+    def handle_callback(self, msg: CallbackRequest, network) -> bool:
+        """Forward a callback request to a connected firewalled client.
+
+        Returns True when the target is a connected session (the network
+        then lets the requester reach it once through
+        :meth:`~repro.edonkey.network.Network.callback_to_client`)."""
+        return msg.target_id in self._sessions
+
+    # ------------------------------------------------------------------
+    # Nickname search (the crawler's entry point)
+
+    def handle_query_users(self, msg: QueryUsers) -> UsersReply:
+        if not self.config.supports_query_users:
+            return UsersReply(users=[], supported=False)
+        pattern = msg.pattern.lower()
+        # Patterns of length >= 3 go through the trigram index (the sweep
+        # sends 26^3 of them); shorter patterns fall back to a full scan.
+        if len(pattern) >= 3:
+            candidates = sorted(self._nick_trigrams.get(pattern[:3], set()))
+        else:
+            candidates = sorted(self._sessions)
+        matches: List[Tuple[int, str, bool]] = []
+        truncated = False
+        for client_id in candidates:
+            session = self._sessions.get(client_id)
+            if session is None:
+                continue
+            if pattern in session.nickname.lower():
+                if len(matches) >= self.config.reply_limit:
+                    truncated = True
+                    break
+                matches.append((client_id, session.nickname, session.firewalled))
+        return UsersReply(users=matches, supported=True, truncated=truncated)
+
+    # ------------------------------------------------------------------
+    # Server list gossip (the only data communicated between servers)
+
+    def handle_server_list(self, _msg: ServerListRequest) -> ServerListReply:
+        return ServerListReply(servers=sorted(self.known_servers))
+
+    def learn_servers(self, server_ids) -> None:
+        self.known_servers.update(server_ids)
+
+
+def _trigrams(nickname: str) -> Set[str]:
+    lowered = nickname.lower()
+    if len(lowered) < 3:
+        return set()
+    return {lowered[i : i + 3] for i in range(len(lowered) - 2)}

@@ -1,0 +1,40 @@
+"""Epidemic (gossip-based) semantic overlay — the deployment path.
+
+The paper evaluates semantic neighbour lists built *reactively* (from
+observed uploads, Section 5).  Its related-work section points to the
+proactive alternative it inspired: a two-tier epidemic architecture
+(Voulgaris & van Steen, Euro-Par 2005) where a bottom peer-sampling
+protocol keeps the unstructured overlay connected and a top protocol
+gossips peers into *semantic views* — exactly the "server-less file
+sharing system" the title argues for.  That work was evaluated on the
+authors' earlier eDonkey trace, so it belongs in this reproduction as the
+natural extension:
+
+- :mod:`repro.overlay.cyclon` — the Cyclon peer-sampling (shuffle)
+  protocol: bounded views of (peer, age) entries, oldest-peer exchanges;
+- :mod:`repro.overlay.vicinity` — the Vicinity semantic-clustering
+  protocol: each peer gossips candidate sets and keeps the ``k`` peers
+  whose caches overlap its own the most;
+- :mod:`repro.overlay.simulator` — round-based co-simulation of the two
+  tiers over a static trace, with per-round semantic-view quality and a
+  search-evaluation hook comparable to the Section 5 simulator.
+"""
+
+from repro.overlay.cyclon import Cyclon, CyclonConfig
+from repro.overlay.simulator import (
+    OverlayConfig,
+    OverlayResult,
+    SemanticOverlaySimulator,
+)
+from repro.overlay.vicinity import Vicinity, VicinityConfig, cache_proximity
+
+__all__ = [
+    "Cyclon",
+    "CyclonConfig",
+    "OverlayConfig",
+    "OverlayResult",
+    "SemanticOverlaySimulator",
+    "Vicinity",
+    "VicinityConfig",
+    "cache_proximity",
+]

@@ -1,0 +1,51 @@
+"""Trace data model and processing pipeline.
+
+A :class:`~repro.trace.model.Trace` is the library's central artefact: a set
+of daily cache observations ("snapshots") of eDonkey clients, together with
+file and client metadata — exactly what the paper's crawler collected.
+
+The pipeline mirrors Section 2.3 of the paper:
+
+- the **full trace** is whatever the crawler (or synthetic generator)
+  produced;
+- :func:`~repro.trace.filtering.filter_duplicates` removes clients sharing
+  an IP address or unique identifier, yielding the **filtered trace**;
+- :func:`~repro.trace.extrapolation.extrapolate` keeps clients observed at
+  least 5 times over a span of at least 10 days and pessimistically fills
+  unobserved days with the intersection of the neighbouring observations,
+  yielding the **extrapolated trace**.
+"""
+
+from repro.trace.extrapolation import ExtrapolationConfig, extrapolate
+from repro.trace.filtering import filter_duplicates
+from repro.trace.io import load_trace, save_trace
+from repro.trace.model import (
+    ClientMeta,
+    FileMeta,
+    Snapshot,
+    StaticTrace,
+    Trace,
+)
+from repro.trace.stats import (
+    TraceCharacteristics,
+    daily_counts,
+    discovery_curve,
+    general_characteristics,
+)
+
+__all__ = [
+    "ClientMeta",
+    "ExtrapolationConfig",
+    "FileMeta",
+    "Snapshot",
+    "StaticTrace",
+    "Trace",
+    "TraceCharacteristics",
+    "daily_counts",
+    "discovery_curve",
+    "extrapolate",
+    "filter_duplicates",
+    "general_characteristics",
+    "load_trace",
+    "save_trace",
+]

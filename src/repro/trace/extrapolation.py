@@ -1,0 +1,106 @@
+"""Pessimistic cache extrapolation (Section 2.3).
+
+For dynamic analyses the paper keeps only clients that were connected at
+least 5 times over the period with at least 10 days between the first and
+last connection, then fills every unobserved day between two observations
+with the **intersection** of the caches at the previous and the subsequent
+connection.  This underestimates the actual content ("pessimistic"), which
+makes the clustering results conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from repro.trace.model import FileId, Snapshot, Trace
+from repro.util.validation import check_positive
+
+
+FILL_MODES = ("intersection", "union", "previous")
+
+
+@dataclass(frozen=True)
+class ExtrapolationConfig:
+    """Eligibility thresholds and gap-fill rule for the extrapolated trace.
+
+    Defaults are the paper's: at least ``min_connections`` successful
+    snapshots, spanning at least ``min_span_days`` days, gaps filled with
+    the **intersection** of the neighbouring observations (the pessimistic
+    rule, which under-estimates cache contents and therefore makes the
+    clustering results conservative).
+
+    ``fill`` selects the rule, mainly for sensitivity analyses:
+
+    - ``"intersection"`` — the paper's pessimistic rule;
+    - ``"union"`` — the optimistic upper bound (every file seen on either
+      side is assumed present throughout the gap);
+    - ``"previous"`` — carry the last observation forward (the common
+      last-value-hold heuristic, between the two bounds).
+    """
+
+    min_connections: int = 5
+    min_span_days: int = 10
+    fill: str = "intersection"
+
+    def __post_init__(self) -> None:
+        check_positive("min_connections", self.min_connections)
+        check_positive("min_span_days", self.min_span_days)
+        if self.fill not in FILL_MODES:
+            raise ValueError(
+                f"fill must be one of {FILL_MODES}, got {self.fill!r}"
+            )
+
+
+def eligible_clients(trace: Trace, config: ExtrapolationConfig) -> List[int]:
+    """Clients meeting the connection-count and span thresholds."""
+    out: List[int] = []
+    for client_id in trace.clients:
+        days = trace.observation_days(client_id)
+        if len(days) < config.min_connections:
+            continue
+        if days[-1] - days[0] < config.min_span_days:
+            continue
+        out.append(client_id)
+    return out
+
+
+def extrapolate(
+    trace: Trace,
+    config: ExtrapolationConfig = ExtrapolationConfig(),
+) -> Trace:
+    """Return the *extrapolated trace*.
+
+    Only eligible clients are kept.  For each kept client, every day strictly
+    between two consecutive observations receives a synthetic snapshot equal
+    to the intersection of the two observed caches.  Days before the first
+    and after the last observation are left unobserved.
+    """
+    kept = eligible_clients(trace, config)
+    out = Trace(
+        files=trace.files,
+        clients={c: trace.clients[c] for c in kept},
+    )
+    for client_id in kept:
+        days = trace.observation_days(client_id)
+        # Copy the real observations.
+        for day in days:
+            cache = trace.cache(client_id, day)
+            assert cache is not None
+            out.add_snapshot(Snapshot(day, client_id, cache))
+        # Fill the gaps per the configured rule.
+        for prev_day, next_day in zip(days, days[1:]):
+            if next_day - prev_day <= 1:
+                continue
+            prev_cache = trace.cache(client_id, prev_day)
+            next_cache = trace.cache(client_id, next_day)
+            assert prev_cache is not None and next_cache is not None
+            if config.fill == "intersection":
+                filler: FrozenSet[FileId] = prev_cache & next_cache
+            elif config.fill == "union":
+                filler = prev_cache | next_cache
+            else:  # previous
+                filler = prev_cache
+            for day in range(prev_day + 1, next_day):
+                out.add_snapshot(Snapshot(day, client_id, filler))
+    return out

@@ -1,0 +1,47 @@
+"""Duplicate-client filtering (Section 2.3).
+
+Clients sometimes change IP address (DHCP) or unique identifier (software
+reinstall).  To avoid counting such clients several times, the paper removes
+all clients sharing either the same IP address or the same unique identifier,
+*keeping the free-riders*.
+
+Interpretation implemented here: group clients by IP and by UID; whenever a
+group contains more than one client, all non-free-rider members of the group
+are removed.  Free-riders are kept regardless (their empty caches cannot
+distort the sharing analyses, and the paper explicitly kept them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from repro.trace.model import ClientId, Trace
+
+
+def duplicate_clients(trace: Trace) -> Set[ClientId]:
+    """Clients that share an IP or a UID with at least one other client."""
+    by_ip: Dict[str, List[ClientId]] = defaultdict(list)
+    by_uid: Dict[str, List[ClientId]] = defaultdict(list)
+    for client_id, meta in trace.clients.items():
+        by_ip[meta.ip].append(client_id)
+        by_uid[meta.uid].append(client_id)
+
+    dupes: Set[ClientId] = set()
+    for group in list(by_ip.values()) + list(by_uid.values()):
+        if len(group) > 1:
+            dupes.update(group)
+    return dupes
+
+
+def filter_duplicates(trace: Trace, keep_free_riders: bool = True) -> Trace:
+    """Return the *filtered trace*: duplicates removed, free-riders kept.
+
+    ``keep_free_riders=False`` additionally drops duplicated free-riders
+    (useful for sensitivity checks; the paper's choice is the default).
+    """
+    dupes = duplicate_clients(trace)
+    if keep_free_riders:
+        dupes = {c for c in dupes if not trace.is_free_rider(c)}
+    kept = [c for c in trace.clients if c not in dupes]
+    return trace.restricted_to_clients(kept)

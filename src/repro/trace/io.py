@@ -1,0 +1,195 @@
+"""Trace serialization.
+
+Traces are stored as gzip-compressed JSON-lines: one header record, then one
+record per file, per client, and per snapshot.  The format is line-oriented
+so that huge traces can be streamed without holding the JSON document in
+memory, and self-describing so that files remain loadable as the model
+evolves (unknown keys are ignored).
+
+An :func:`anonymize` helper reproduces the paper's "fully anonymized version
+of our trace": nicknames, IPs and UIDs are replaced by salted hashes while
+preserving equality (two snapshots of the same client still match).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+from typing import Dict, IO, Iterator, Union
+
+from repro.trace.model import ClientMeta, FileMeta, Snapshot, Trace
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _open_write(path: PathLike) -> IO[str]:
+    raw = gzip.open(path, "wt", encoding="utf-8") if str(path).endswith(".gz") else open(
+        path, "w", encoding="utf-8"
+    )
+    return raw
+
+
+def _open_read(path: PathLike) -> IO[str]:
+    raw = gzip.open(path, "rt", encoding="utf-8") if str(path).endswith(".gz") else open(
+        path, "r", encoding="utf-8"
+    )
+    return raw
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` (gzip-compressed if it ends in ``.gz``)."""
+    with _open_write(path) as fh:
+        _write_records(trace, fh)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize a trace to a JSONL string (mostly for tests)."""
+    buf = io.StringIO()
+    _write_records(trace, buf)
+    return buf.getvalue()
+
+
+def _write_records(trace: Trace, fh: IO[str]) -> None:
+    header = {
+        "type": "header",
+        "version": FORMAT_VERSION,
+        "clients": len(trace.clients),
+        "files": len(trace.files),
+        "snapshots": trace.num_snapshots,
+    }
+    fh.write(json.dumps(header) + "\n")
+    for meta in trace.files.values():
+        fh.write(
+            json.dumps(
+                {
+                    "type": "file",
+                    "id": meta.file_id,
+                    "size": meta.size,
+                    "kind": meta.kind,
+                    "category": meta.category,
+                    "name": meta.name,
+                }
+            )
+            + "\n"
+        )
+    for meta in trace.clients.values():
+        fh.write(
+            json.dumps(
+                {
+                    "type": "client",
+                    "id": meta.client_id,
+                    "uid": meta.uid,
+                    "ip": meta.ip,
+                    "country": meta.country,
+                    "asn": meta.asn,
+                    "nickname": meta.nickname,
+                }
+            )
+            + "\n"
+        )
+    for snap in trace.iter_snapshots():
+        fh.write(
+            json.dumps(
+                {
+                    "type": "snapshot",
+                    "day": snap.day,
+                    "client": snap.client_id,
+                    "files": sorted(snap.file_ids),
+                }
+            )
+            + "\n"
+        )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Load a trace written by :func:`save_trace`."""
+    with _open_read(path) as fh:
+        return _read_records(iter(fh))
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse a trace from a JSONL string (inverse of :func:`dumps_trace`)."""
+    return _read_records(iter(text.splitlines()))
+
+
+def _read_records(lines: Iterator[str]) -> Trace:
+    trace = Trace()
+    saw_header = False
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        rtype = record.get("type")
+        if rtype == "header":
+            if record.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format version {record.get('version')!r}"
+                )
+            saw_header = True
+        elif rtype == "file":
+            trace.add_file(
+                FileMeta(
+                    file_id=record["id"],
+                    size=record["size"],
+                    kind=record.get("kind", "unknown"),
+                    category=record.get("category", -1),
+                    name=record.get("name", ""),
+                )
+            )
+        elif rtype == "client":
+            trace.add_client(
+                ClientMeta(
+                    client_id=record["id"],
+                    uid=record["uid"],
+                    ip=record["ip"],
+                    country=record["country"],
+                    asn=record["asn"],
+                    nickname=record.get("nickname", ""),
+                )
+            )
+        elif rtype == "snapshot":
+            trace.add_snapshot(
+                Snapshot(
+                    day=record["day"],
+                    client_id=record["client"],
+                    file_ids=frozenset(record["files"]),
+                )
+            )
+        else:
+            raise ValueError(f"unknown record type {rtype!r}")
+    if not saw_header:
+        raise ValueError("trace stream has no header record")
+    return trace
+
+
+def _hash_token(salt: str, value: str, length: int = 16) -> str:
+    return hashlib.sha256(f"{salt}:{value}".encode("utf-8")).hexdigest()[:length]
+
+
+def anonymize(trace: Trace, salt: str = "repro") -> Trace:
+    """Return a copy with IPs, UIDs and nicknames replaced by salted hashes.
+
+    Country and AS labels are preserved (the paper's analyses need them);
+    identity equality is preserved (same input IP -> same anonymized IP), so
+    duplicate filtering behaves identically on the anonymized trace.
+    """
+    anon_clients: Dict[int, ClientMeta] = {}
+    for client_id, meta in trace.clients.items():
+        anon_clients[client_id] = ClientMeta(
+            client_id=client_id,
+            uid=_hash_token(salt, "uid:" + meta.uid),
+            ip=_hash_token(salt, "ip:" + meta.ip),
+            country=meta.country,
+            asn=meta.asn,
+            nickname=_hash_token(salt, "nick:" + meta.nickname, length=8),
+        )
+    out = Trace(files=trace.files, clients=anon_clients)
+    for snap in trace.iter_snapshots():
+        out.add_snapshot(snap)
+    return out

@@ -1,0 +1,38 @@
+"""Shared utilities: deterministic RNG streams, empirical distributions,
+Zipf sampling and fitting, and plain-text table rendering.
+
+These helpers are intentionally dependency-light (numpy only) so that every
+other subpackage can use them without import cycles.
+"""
+
+from repro.util.cdf import (
+    Histogram,
+    Series,
+    empirical_cdf,
+    fraction_at_most,
+    log_bins,
+    quantile,
+)
+from repro.util.rng import RngStream, derive_seed, make_rng
+from repro.util.tables import format_table, render_series
+from repro.util.validation import check_fraction, check_positive
+from repro.util.zipf import ZipfSampler, fit_zipf_slope, zipf_weights
+
+__all__ = [
+    "Histogram",
+    "RngStream",
+    "Series",
+    "ZipfSampler",
+    "check_fraction",
+    "check_positive",
+    "derive_seed",
+    "empirical_cdf",
+    "fit_zipf_slope",
+    "format_table",
+    "fraction_at_most",
+    "log_bins",
+    "make_rng",
+    "quantile",
+    "render_series",
+    "zipf_weights",
+]

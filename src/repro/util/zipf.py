@@ -1,0 +1,123 @@
+"""Zipf-distribution sampling and slope fitting.
+
+The paper (Figure 5) observes a Zipf-like rank/replication plot with a small
+flat head: replication is roughly constant over the first few ranks and then
+decays as a power law.  ``ZipfSampler`` implements exactly that shape — a
+truncated, flattened Zipf — and ``fit_zipf_slope`` recovers the exponent from
+observed data so tests and benchmarks can assert the shape holds.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def zipf_weights(n: int, alpha: float, flat_head: int = 0) -> np.ndarray:
+    """Unnormalized Zipf weights ``w[k] ~ 1 / (k+1)^alpha`` for ``n`` ranks.
+
+    ``flat_head`` clamps the first ``flat_head`` ranks to the weight of rank
+    ``flat_head`` — reproducing the "initial small flat region" of Figure 5.
+    """
+    check_positive("n", n)
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-alpha
+    if flat_head > 0:
+        head = min(flat_head, n)
+        weights[:head] = weights[head - 1]
+    return weights
+
+
+class ZipfSampler:
+    """Draw item indices from a (flattened) Zipf distribution in O(log n).
+
+    Indices are 0-based; index 0 is the most popular item.  The sampler
+    precomputes a cumulative weight table once, so drawing is cheap even for
+    large universes.
+    """
+
+    def __init__(self, n: int, alpha: float, flat_head: int = 0) -> None:
+        self.n = n
+        self.alpha = alpha
+        self.flat_head = flat_head
+        weights = zipf_weights(n, alpha, flat_head)
+        self._cum = np.cumsum(weights)
+        self._total = float(self._cum[-1])
+
+    def weight(self, index: int) -> float:
+        """The unnormalized weight of ``index``."""
+        if index == 0:
+            return float(self._cum[0])
+        return float(self._cum[index] - self._cum[index - 1])
+
+    def probability(self, index: int) -> float:
+        return self.weight(index) / self._total
+
+    def sample(self, rng) -> int:
+        """Draw one index.  ``rng`` is a ``random.Random``."""
+        x = rng.random() * self._total
+        return int(bisect.bisect_right(self._cum, x))
+
+    def sample_many(self, np_rng: np.random.Generator, size: int) -> np.ndarray:
+        """Vectorized draw of ``size`` indices using a numpy Generator."""
+        xs = np_rng.random(size) * self._total
+        return np.searchsorted(self._cum, xs, side="right")
+
+
+def fit_zipf_slope(
+    ranks: Sequence[float],
+    values: Sequence[float],
+    skip_head: int = 0,
+) -> Tuple[float, float]:
+    """Least-squares fit of ``log(value) = intercept - slope * log(rank)``.
+
+    Returns ``(slope, r_squared)`` where ``slope`` is reported as a positive
+    number for a decaying power law.  Zero values are dropped (they cannot be
+    log-transformed); ``skip_head`` drops the flat head before fitting.
+    """
+    r = np.asarray(ranks, dtype=float)[skip_head:]
+    v = np.asarray(values, dtype=float)[skip_head:]
+    mask = (r > 0) & (v > 0)
+    r, v = r[mask], v[mask]
+    if len(r) < 3:
+        raise ValueError("need at least 3 positive points to fit a slope")
+    lx, ly = np.log10(r), np.log10(v)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return -float(slope), r_squared
+
+
+def harmonic_number(n: int, alpha: float = 1.0) -> float:
+    """Generalized harmonic number ``H_{n,alpha}`` (normalizer for Zipf)."""
+    check_positive("n", n)
+    return float(sum(1.0 / (k**alpha) for k in range(1, n + 1)))
+
+
+def expected_max_rank_share(n: int, alpha: float) -> float:
+    """Probability mass of the single most popular item under pure Zipf.
+
+    Used in tests as a sanity bound on generated popularity skew.
+    """
+    return 1.0 / harmonic_number(n, alpha)
+
+
+def swap_iterations(total_replicas: int) -> int:
+    """The appendix's mixing schedule: ``(1/2) * N * ln(N)`` swap attempts.
+
+    ``N`` is the total number of file replicas in the trace.  Returns at
+    least 1 for tiny traces so that callers can always make progress.
+    """
+    check_positive("total_replicas", total_replicas)
+    if total_replicas == 1:
+        return 1
+    return max(1, int(0.5 * total_replicas * math.log(total_replicas)))

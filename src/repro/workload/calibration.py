@@ -1,0 +1,162 @@
+"""Workload calibration report.
+
+One call checks a (temporal) trace against every marginal statistic the
+paper reports, so anyone re-tuning :class:`~repro.workload.config.
+WorkloadConfig` can see at a glance which targets their parameters hit
+and which they broke.  Exposed on the CLI as ``python -m repro calibrate``.
+
+Each check carries the paper's value, the measured value, an acceptance
+band (deliberately generous — these are shape targets, not equalities)
+and a pass flag.  ``repro.experiments`` asserts the same shapes with
+per-figure granularity; this module is the quick, whole-workload view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.contribution import generosity_concentration
+from repro.analysis.geographic import country_histogram, top_as_table
+from repro.analysis.popularity import max_spread_fraction
+from repro.analysis.semantic import clustering_correlation
+from repro.trace.filtering import filter_duplicates
+from repro.trace.model import Trace
+from repro.trace.stats import discovery_curve, general_characteristics
+from repro.util.tables import format_table
+from repro.util.zipf import fit_zipf_slope
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One target: paper value, measured value, acceptance verdict."""
+
+    name: str
+    paper: str
+    measured: str
+    ok: bool
+    note: str = ""
+
+
+def _check(name: str, paper: str, measured: float, lo: float, hi: float,
+           fmt: str = "{:.2f}", note: str = "") -> CalibrationCheck:
+    return CalibrationCheck(
+        name=name,
+        paper=paper,
+        measured=fmt.format(measured),
+        ok=lo <= measured <= hi,
+        note=note,
+    )
+
+
+def calibration_report(trace: Trace) -> List[CalibrationCheck]:
+    """Run every calibration check against a temporal trace."""
+    checks: List[CalibrationCheck] = []
+    filtered = filter_duplicates(trace)
+    static = filtered.to_static()
+
+    # -- free-riding ----------------------------------------------------
+    chars = general_characteristics(filtered)
+    checks.append(
+        _check(
+            "free-rider fraction (filtered)",
+            "0.70-0.84",
+            chars.free_rider_fraction,
+            0.60,
+            0.90,
+        )
+    )
+
+    # -- popularity shape ------------------------------------------------
+    counts = sorted(static.replica_counts().values(), reverse=True)
+    if len(counts) >= 30:
+        slope, r_squared = fit_zipf_slope(
+            list(range(1, len(counts) + 1)), counts, skip_head=5
+        )
+        checks.append(
+            _check("zipf slope (rank/replication)", "linear log-log",
+                   slope, 0.2, 1.5)
+        )
+        checks.append(
+            _check("zipf fit r^2", "> 0.7", r_squared, 0.7, 1.0)
+        )
+
+    # -- file sizes -------------------------------------------------------
+    sizes = [meta.size for meta in static.files.values()]
+    if sizes:
+        under_1mb = sum(1 for s in sizes if s < 1024**2) / len(sizes)
+        checks.append(
+            _check("files under 1MB", "~0.40", under_1mb, 0.25, 0.55)
+        )
+
+    # -- contribution skew ------------------------------------------------
+    if static.non_free_riders():
+        concentration = generosity_concentration(static, 0.15)
+        checks.append(
+            _check("top-15% sharer concentration", "0.75",
+                   concentration, 0.40, 0.95)
+        )
+
+    # -- geography ---------------------------------------------------------
+    shares = {c: f for c, _, f in country_histogram(filtered)}
+    checks.append(
+        _check("FR client share", "0.29", shares.get("FR", 0.0), 0.21, 0.37)
+    )
+    checks.append(
+        _check("DE client share", "0.28", shares.get("DE", 0.0), 0.20, 0.36)
+    )
+    as_rows = {r.asn: r for r in top_as_table(filtered, 8)}
+    if 3320 in as_rows:
+        checks.append(
+            _check("AS3320 global share", "0.21",
+                   as_rows[3320].global_share, 0.13, 0.29)
+        )
+
+    # -- dynamics -----------------------------------------------------------
+    spread = max_spread_fraction(filtered)
+    checks.append(
+        _check("max file spread", "< 0.007 (scale-bound here)",
+               spread, 0.0, 0.15,
+               note="grows as 1/clients at reproduction scale")
+    )
+    new_files, _ = discovery_curve(trace)
+    last_new = new_files.ys[-1] if new_files.ys else 0.0
+    checks.append(
+        _check("new files on last day", "> 0 (discovery never saturates)",
+               last_new, 1.0, float("inf"), fmt="{:.0f}")
+    )
+
+    # -- semantic clustering -------------------------------------------------
+    caches = {c: f for c, f in static.caches.items() if f}
+    correlation = clustering_correlation(caches)
+    if correlation.ys:
+        checks.append(
+            _check("P(another common | 1 common)", "steeply rising",
+                   correlation.ys[0], 25.0, 100.0, fmt="{:.1f}%")
+        )
+    return checks
+
+
+def render_report(checks: List[CalibrationCheck]) -> str:
+    """Render checks as an aligned table plus a pass summary."""
+    rows = [
+        (
+            "PASS" if check.ok else "FAIL",
+            check.name,
+            check.paper,
+            check.measured,
+            check.note,
+        )
+        for check in checks
+    ]
+    table = format_table(
+        ("", "target", "paper", "measured", "note"),
+        rows,
+        title="Workload calibration report",
+    )
+    passed = sum(1 for c in checks if c.ok)
+    return f"{table}\n{passed}/{len(checks)} targets within band"
+
+
+def all_passed(checks: List[CalibrationCheck]) -> bool:
+    return all(check.ok for check in checks)

@@ -1,0 +1,155 @@
+"""Workload configuration.
+
+One dataclass gathers every dial of the synthetic workload so that each
+experiment can state its full parameterization in one place (and DESIGN.md's
+per-experiment index can reference it).  Defaults are tuned so that the
+generated trace reproduces the paper's marginal statistics at laptop scale:
+
+===========================  =============================================
+paper observation             default responsible parameters
+===========================  =============================================
+~74-84% free-riders           ``free_rider_fraction=0.74``
+Zipf-like popularity, flat    ``file_alpha=0.7``, ``flat_head=5``
+head (Fig 5)
+40/50/10 size split, popular  :mod:`repro.workload.filesizes` head/tail mix
+files mostly DIVX (Fig 6)
+80% of sharers < 100 files,   ``cache_size_median=15``,
+top 15% hold ~75% (Fig 7)     ``cache_size_sigma=1.8``
+~5 new files/client/day       ``daily_adds_mean=5.0``
+sudden-rise/slow-decay        ``num_shock_files=8``, ``shock_boost``,
+popularity (Fig 8-10)         ``shock_half_life_days``
+country/AS mix (Fig 4, T2)    :func:`repro.workload.geo.default_country_model`
+semantic clustering           ``interest_loyalty=0.9`` + interest model
+(Fig 13-21)
+geographic clustering         ``InterestModel.geo_affinity=0.7``
+(Fig 11-12)
+===========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+from repro.workload.filesizes import FileKindModel
+from repro.workload.interests import InterestModel
+
+
+@dataclass
+class WorkloadConfig:
+    """All parameters of the synthetic workload generator."""
+
+    # ------------------------------------------------------------- scale
+    num_clients: int = 2000
+    num_files: int = 80000
+    days: int = 56
+    start_day: int = 343  # paper-style day-of-year numbering
+
+    # ------------------------------------------------------- populations
+    free_rider_fraction: float = 0.74
+    duplicate_fraction: float = 0.05  # alias clients (same IP or UID)
+    # Fraction of clients that join mid-trace (the network was growing
+    # during the measurement; 0 keeps the population static).  Arrivals
+    # are uniform over the first two thirds of the trace.
+    arrival_fraction: float = 0.0
+
+    # ---------------------------------------------------- file popularity
+    file_alpha: float = 0.7  # Zipf exponent over intrinsic file weights
+    flat_head: int = 5  # flat region at the top of the ranking
+    preexisting_fraction: float = 0.6  # files born before the trace starts
+
+    # -------------------------------------------------------- peer caches
+    cache_size_median: float = 15.0
+    cache_size_sigma: float = 1.8
+    cache_size_max: int = 2000
+    interest_loyalty: float = 0.9  # P(draw via a subscribed category)
+
+    # ------------------------------------------------- mainstream content
+    # A pool of globally popular, interest-free files (chart music,
+    # blockbusters): every client requests them occasionally, which is what
+    # pollutes semantic lists and gives Figures 19/20 their shape.
+    mainstream_prob: float = 0.05  # P(a draw goes to the mainstream pool)
+    mainstream_pool_size: int = 4000
+    mainstream_alpha: float = 0.3
+    mainstream_flat_head: int = 20
+
+    # ------------------------------------------------------------- churn
+    daily_adds_mean: float = 5.0  # Poisson mean of files added per day
+
+    # -------------------------------------------------- popularity shocks
+    num_shock_files: int = 8
+    shock_boost: float = 30.0  # multiplicative weight boost at release
+    shock_half_life_days: float = 6.0
+    shock_trend_cap: float = 0.01  # max fraction of adds that chase trends
+
+    # ------------------------------------------------- crawler observation
+    obs_capacity_start: float = 0.80  # fraction of clients crawled, day 0
+    obs_capacity_end: float = 0.45  # ... linearly decaying to this
+    online_alpha: float = 5.0  # Beta parameters of per-client availability
+    online_beta: float = 2.0
+    outage_days: int = 0  # optional crawler outage at the start (Fig 2 dip)
+
+    # ------------------------------------------------------------- models
+    interest_model: InterestModel = field(default_factory=InterestModel)
+    kind_model: FileKindModel = field(default_factory=FileKindModel)
+
+    def __post_init__(self) -> None:
+        check_positive("num_clients", self.num_clients)
+        check_positive("num_files", self.num_files)
+        check_positive("days", self.days)
+        check_fraction("free_rider_fraction", self.free_rider_fraction)
+        check_fraction("duplicate_fraction", self.duplicate_fraction)
+        check_fraction("arrival_fraction", self.arrival_fraction)
+        check_non_negative("file_alpha", self.file_alpha)
+        check_non_negative("flat_head", self.flat_head)
+        check_fraction("preexisting_fraction", self.preexisting_fraction)
+        check_positive("cache_size_median", self.cache_size_median)
+        check_positive("cache_size_sigma", self.cache_size_sigma)
+        check_positive("cache_size_max", self.cache_size_max)
+        check_fraction("interest_loyalty", self.interest_loyalty)
+        check_fraction("mainstream_prob", self.mainstream_prob)
+        check_positive("mainstream_pool_size", self.mainstream_pool_size)
+        check_non_negative("mainstream_alpha", self.mainstream_alpha)
+        check_non_negative("mainstream_flat_head", self.mainstream_flat_head)
+        if self.mainstream_pool_size > self.num_files:
+            raise ValueError("mainstream_pool_size cannot exceed num_files")
+        check_non_negative("daily_adds_mean", self.daily_adds_mean)
+        check_non_negative("num_shock_files", self.num_shock_files)
+        check_non_negative("shock_boost", self.shock_boost)
+        check_positive("shock_half_life_days", self.shock_half_life_days)
+        check_fraction("shock_trend_cap", self.shock_trend_cap)
+        check_fraction("obs_capacity_start", self.obs_capacity_start)
+        check_fraction("obs_capacity_end", self.obs_capacity_end)
+        check_positive("online_alpha", self.online_alpha)
+        check_positive("online_beta", self.online_beta)
+        check_non_negative("outage_days", self.outage_days)
+        if self.num_shock_files > self.num_files:
+            raise ValueError("num_shock_files cannot exceed num_files")
+
+    @property
+    def end_day(self) -> int:
+        """First day *after* the trace (exclusive bound)."""
+        return self.start_day + self.days
+
+    def small(self) -> "WorkloadConfig":
+        """A down-scaled copy for fast unit tests.
+
+        Scale ratios (files per client, categories vs. sharers) track the
+        defaults so the planted clustering survives the shrink."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            num_clients=200,
+            num_files=6000,
+            days=20,
+            num_shock_files=3,
+            mainstream_pool_size=300,
+            interest_model=dataclasses.replace(
+                self.interest_model, num_categories=32
+            ),
+        )

@@ -1,0 +1,105 @@
+"""Tests for popularity/rank analyses."""
+
+import pytest
+
+from repro.analysis.popularity import (
+    file_spread,
+    max_spread_fraction,
+    rank_evolution,
+    rank_of_files,
+    rank_replication,
+    top_files_on,
+)
+from tests.conftest import build_trace
+
+
+def popularity_trace():
+    return build_trace(
+        {
+            1: {0: ["hot", "warm"], 1: ["hot"], 2: ["hot", "cold"]},
+            2: {0: ["hot"], 1: ["warm"], 2: ["warm", "cold"]},
+        }
+    )
+
+
+class TestRankReplication:
+    def test_sorted_descending(self):
+        series = rank_replication(popularity_trace(), 1)
+        assert series.xs == [1.0, 2.0, 3.0]
+        assert series.ys == [3.0, 1.0, 1.0]
+
+    def test_max_rank_truncates(self):
+        series = rank_replication(popularity_trace(), 1, max_rank=2)
+        assert len(series) == 2
+
+    def test_missing_day_empty(self):
+        series = rank_replication(popularity_trace(), 42)
+        assert len(series) == 0
+
+
+class TestTopFiles:
+    def test_top_files_on(self):
+        assert top_files_on(popularity_trace(), 1, 1) == ["hot"]
+        assert top_files_on(popularity_trace(), 2, 2) == ["warm", "cold"]
+
+    def test_rank_of_files(self):
+        ranks = rank_of_files(popularity_trace(), 1)
+        assert ranks["hot"] == 1
+        assert set(ranks.values()) == {1, 2, 3}
+
+
+class TestFileSpread:
+    def test_percentages(self):
+        series = file_spread(popularity_trace(), file_ids=["hot"])
+        assert series[0].ys == [pytest.approx(100.0), pytest.approx(100 / 3)]
+
+    def test_default_tracks_top_static(self):
+        series = file_spread(popularity_trace(), top_k=2)
+        assert len(series) == 2
+        assert series[0].name == "#1"
+
+    def test_reference_day(self):
+        series = file_spread(popularity_trace(), top_k=1, reference_day=2)
+        # top of day 2 is "warm" (2 sources)
+        assert series[0].ys[0] == pytest.approx(100 / 3)
+
+
+class TestRankEvolution:
+    def test_ranks_tracked(self):
+        series = rank_evolution(popularity_trace(), reference_day=1, top_k=1)
+        # "hot": rank 1 on day 1; on day 2 it ties with "cold" at one
+        # source behind "warm", and the id tiebreak puts it at rank 3.
+        assert series[0].ys == [1.0, 3.0]
+
+    def test_gaps_for_unobserved_files(self):
+        trace = build_trace(
+            {1: {0: ["x"], 1: ["x"]}, 2: {0: ["y"]}, 3: {0: ["x"]}}
+        )
+        series = rank_evolution(trace, reference_day=1, top_k=1)
+        assert series[0].xs == [1.0, 3.0]  # absent on day 2
+
+
+class TestMaxSpread:
+    def test_value(self):
+        assert max_spread_fraction(popularity_trace()) == pytest.approx(1.0)
+
+    def test_generated_trace_spread_is_small(self, small_temporal_trace):
+        """The paper's qualitative point: even the most popular file is
+        held by a small fraction of clients."""
+        spread = max_spread_fraction(small_temporal_trace)
+        assert 0 < spread < 0.25
+
+    def test_shock_files_rise_and_decay(self, small_temporal_trace):
+        """Figure 8's shape: the most-replicated files show a rise to a
+        peak followed by decay (not monotone growth)."""
+        series = file_spread(small_temporal_trace, top_k=4)
+        shaped = 0
+        for s in series:
+            if len(s) < 5:
+                continue
+            peak_index = s.ys.index(max(s.ys))
+            rises = peak_index > 0 and s.ys[peak_index] > s.ys[0]
+            decays = s.ys[-1] < s.ys[peak_index]
+            if rises and decays:
+                shaped += 1
+        assert shaped >= 1

@@ -1,0 +1,62 @@
+"""Tests for the random-walk baseline."""
+
+import pytest
+
+from repro.baselines.random_walk import (
+    RandomWalkConfig,
+    RandomWalkSearch,
+    measure_random_walk,
+)
+from tests.conftest import build_static
+
+
+class TestRandomWalkSearch:
+    def test_finds_ubiquitous_file_fast(self):
+        trace = build_static({i: ["everywhere"] for i in range(30)})
+        search = RandomWalkSearch(trace, RandomWalkConfig(steps=32), seed=0)
+        result = search.search(0, "everywhere")
+        assert result.hit
+        assert result.contacted <= 2
+
+    def test_misses_absent_file(self):
+        trace = build_static({i: ["x"] for i in range(10)})
+        search = RandomWalkSearch(trace, RandomWalkConfig(walkers=2, steps=8), seed=0)
+        result = search.search(0, "not-there")
+        assert not result.hit
+        assert result.contacted <= 2 * 8
+
+    def test_contact_budget_respected(self):
+        trace = build_static({i: [] for i in range(20)})
+        config = RandomWalkConfig(walkers=3, steps=10)
+        search = RandomWalkSearch(trace, config, seed=1)
+        result = search.search(0, "anything")
+        assert result.contacted <= config.walkers * config.steps
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkConfig(walkers=0)
+        with pytest.raises(ValueError):
+            RandomWalkConfig(steps=0)
+
+
+class TestMeasure:
+    def test_monte_carlo(self, small_static_trace):
+        stats = measure_random_walk(small_static_trace, num_queries=50, seed=0)
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+        assert stats["mean_contacts"] > 0
+
+    def test_empty_trace_raises(self):
+        trace = build_static({0: [], 1: []})
+        with pytest.raises(ValueError):
+            measure_random_walk(trace, num_queries=5)
+
+    def test_more_walkers_help(self):
+        caches = {i: ["needle"] if i < 3 else [] for i in range(60)}
+        trace = build_static(caches)
+        few = measure_random_walk(
+            trace, num_queries=150, config=RandomWalkConfig(walkers=1, steps=16), seed=2
+        )
+        many = measure_random_walk(
+            trace, num_queries=150, config=RandomWalkConfig(walkers=8, steps=16), seed=2
+        )
+        assert many["hit_rate"] >= few["hit_rate"]

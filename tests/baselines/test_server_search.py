@@ -1,0 +1,48 @@
+"""Tests for the central-server lookup baseline."""
+
+from repro.baselines.server_search import ServerLookup
+from tests.conftest import build_static
+
+
+class TestServerLookup:
+    def test_publish_and_lookup(self):
+        lookup = ServerLookup()
+        lookup.publish(1, "f")
+        lookup.publish(2, "f")
+        assert lookup.lookup("f") == [1, 2]
+
+    def test_lookup_excludes_requester(self):
+        lookup = ServerLookup()
+        lookup.publish(1, "f")
+        assert lookup.lookup("f", exclude=1) == []
+
+    def test_unpublish(self):
+        lookup = ServerLookup()
+        lookup.publish(1, "f")
+        lookup.unpublish(1, "f")
+        assert lookup.lookup("f") == []
+        assert lookup.index_size() == 0
+
+    def test_unpublish_unknown_noop(self):
+        lookup = ServerLookup()
+        lookup.unpublish(9, "zz")
+
+    def test_stats(self):
+        lookup = ServerLookup()
+        lookup.publish(1, "f")
+        lookup.lookup("f")
+        lookup.lookup("missing")
+        assert lookup.stats.queries == 2
+        assert lookup.stats.hits == 1
+        assert lookup.stats.hit_rate == 0.5
+
+    def test_from_trace(self):
+        trace = build_static({0: ["a", "b"], 1: ["a"], 2: []})
+        lookup = ServerLookup.from_trace(trace)
+        assert lookup.lookup("a") == [0, 1]
+        assert lookup.index_size() == 3
+
+    def test_every_shared_file_findable(self, small_static_trace):
+        lookup = ServerLookup.from_trace(small_static_trace)
+        for fid in sorted(small_static_trace.distinct_files())[:200]:
+            assert lookup.lookup(fid), fid

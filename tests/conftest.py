@@ -1,0 +1,99 @@
+"""Shared fixtures: tiny hand-built traces and cached small workloads.
+
+Hand-built traces make unit-test assertions exact; the session-scoped
+generated workloads are shared across integration tests so the suite stays
+fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.model import ClientMeta, FileMeta, StaticTrace, Trace
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+def make_client(client_id: int, **overrides) -> ClientMeta:
+    """A ClientMeta with sensible defaults for tests."""
+    defaults = dict(
+        client_id=client_id,
+        uid=f"uid-{client_id}",
+        ip=f"10.0.{client_id // 256}.{client_id % 256}",
+        country="FR",
+        asn=3215,
+        nickname=f"peer{client_id}",
+    )
+    defaults.update(overrides)
+    return ClientMeta(**defaults)
+
+
+def make_file(file_id: str, size: int = 4_000_000, **overrides) -> FileMeta:
+    defaults = dict(file_id=file_id, size=size, kind="audio", category=0)
+    defaults.update(overrides)
+    return FileMeta(**defaults)
+
+
+def build_trace(day_caches, clients=None, files=None) -> Trace:
+    """Build a Trace from ``{day: {client_id: iterable_of_file_ids}}``.
+
+    Client and file metadata are synthesized for any ids not provided.
+    """
+    all_clients = set()
+    all_files = set()
+    for caches in day_caches.values():
+        for client_id, file_ids in caches.items():
+            all_clients.add(client_id)
+            all_files.update(file_ids)
+    trace = Trace()
+    provided_clients = {c.client_id: c for c in (clients or [])}
+    for client_id in sorted(all_clients):
+        trace.add_client(provided_clients.get(client_id) or make_client(client_id))
+    provided_files = {f.file_id: f for f in (files or [])}
+    for fid in sorted(all_files):
+        trace.add_file(provided_files.get(fid) or make_file(fid))
+    for day in sorted(day_caches):
+        for client_id, file_ids in day_caches[day].items():
+            trace.observe(day, client_id, file_ids)
+    return trace
+
+
+def build_static(caches, clients=None, files=None) -> StaticTrace:
+    """Build a StaticTrace from ``{client_id: iterable_of_file_ids}``."""
+    all_files = set()
+    for file_ids in caches.values():
+        all_files.update(file_ids)
+    provided_clients = {c.client_id: c for c in (clients or [])}
+    provided_files = {f.file_id: f for f in (files or [])}
+    return StaticTrace(
+        caches={c: frozenset(f) for c, f in caches.items()},
+        files={
+            fid: provided_files.get(fid) or make_file(fid)
+            for fid in sorted(all_files)
+        },
+        clients={
+            c: provided_clients.get(c) or make_client(c) for c in sorted(caches)
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorkloadConfig:
+    return WorkloadConfig().small()
+
+
+@pytest.fixture(scope="session")
+def small_generator(small_config) -> SyntheticWorkloadGenerator:
+    generator = SyntheticWorkloadGenerator(config=small_config, seed=7)
+    generator.build()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def small_temporal_trace(small_config):
+    return SyntheticWorkloadGenerator(config=small_config, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def small_static_trace(small_config):
+    return SyntheticWorkloadGenerator(config=small_config, seed=7).generate_static()

@@ -1,0 +1,250 @@
+"""Tests for the eDonkey client: browsing, block transfer, downloads."""
+
+import pytest
+
+from repro.edonkey.client import (
+    Client,
+    ClientConfig,
+    SharedFile,
+    block_checksum,
+)
+from repro.edonkey.hashing import BLOCK_SIZE
+from repro.edonkey.messages import (
+    BlockRequest,
+    BrowseRequest,
+    FileDescription,
+    FileStatusRequest,
+)
+from repro.edonkey.network import Network, NetworkConfig
+from repro.edonkey.server import Server
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+def desc(file_id="f1", size=1000, name="file"):
+    return FileDescription(file_id=file_id, name=name, size=size)
+
+
+def multiblock_desc(blocks=3):
+    return FileDescription(
+        file_id="big", name="big file", size=BLOCK_SIZE * blocks - 100
+    )
+
+
+def make_network(*clients):
+    config = NetworkConfig(workload=WorkloadConfig().small())
+    generator = SyntheticWorkloadGenerator(config=config.workload, seed=0)
+    generator.build()
+    network = Network(generator, config)
+    network.add_server(Server(0))
+    for client in clients:
+        network.add_client(client)
+    return network
+
+
+class TestSharedFile:
+    def test_complete(self):
+        shared = SharedFile.complete(multiblock_desc(3))
+        assert shared.num_blocks == 3
+        assert shared.is_complete
+        assert shared.is_shareable
+
+    def test_empty(self):
+        shared = SharedFile.empty(multiblock_desc(2))
+        assert not shared.is_shareable
+        assert shared.missing_blocks() == [0, 1]
+
+    def test_partial_is_shareable(self):
+        shared = SharedFile.empty(multiblock_desc(2))
+        shared.blocks_present[0] = True
+        assert shared.is_shareable
+        assert not shared.is_complete
+
+
+class TestHandlers:
+    def test_browse_allowed(self):
+        client = Client(1, "nick")
+        client.share(desc())
+        reply = client.handle_browse(BrowseRequest(requester_id=2))
+        assert reply.allowed
+        assert [f.file_id for f in reply.files] == ["f1"]
+
+    def test_browse_disabled(self):
+        client = Client(1, "nick", ClientConfig(browseable=False))
+        client.share(desc())
+        reply = client.handle_browse(BrowseRequest(requester_id=2))
+        assert not reply.allowed
+        assert reply.files == []
+
+    def test_file_status(self):
+        client = Client(1, "nick")
+        client.share(desc())
+        status = client.handle_file_status(FileStatusRequest(file_id="f1"))
+        assert status.available
+        assert status.blocks == [True]
+
+    def test_file_status_unknown(self):
+        client = Client(1, "nick")
+        status = client.handle_file_status(FileStatusRequest(file_id="zz"))
+        assert not status.available
+
+    def test_block_request_ok(self):
+        client = Client(1, "nick")
+        client.share(desc())
+        reply = client.handle_block_request(BlockRequest(file_id="f1", block_index=0))
+        assert reply.ok
+        assert reply.checksum == block_checksum("f1", 0)
+
+    def test_block_request_out_of_range(self):
+        client = Client(1, "nick")
+        client.share(desc())
+        assert not client.handle_block_request(
+            BlockRequest(file_id="f1", block_index=5)
+        ).ok
+
+    def test_block_request_missing_block(self):
+        client = Client(1, "nick")
+        client.cache["big"] = SharedFile.empty(multiblock_desc(2))
+        assert not client.handle_block_request(
+            BlockRequest(file_id="big", block_index=0)
+        ).ok
+
+    def test_corrupting_uploader_returns_bad_checksum(self):
+        client = Client(1, "nick", ClientConfig(corrupts_uploads=True))
+        client.share(desc())
+        reply = client.handle_block_request(BlockRequest(file_id="f1", block_index=0))
+        assert reply.ok
+        assert reply.checksum != block_checksum("f1", 0)
+
+
+class TestConnectPublish:
+    def test_connect_publishes_cache(self):
+        client = Client(1, "nick")
+        client.share(desc())
+        network = make_network(client)
+        assert client.connect(network, 0)
+        sources = client.find_sources(network, "f1")
+        assert sources == []  # own id excluded
+        other = Client(2, "other")
+        network.add_client(other)
+        other.connect(network, 0)
+        assert other.find_sources(network, "f1") == [1]
+
+    def test_publish_before_connect(self):
+        client = Client(1, "nick")
+        network = make_network(client)
+        with pytest.raises(RuntimeError):
+            client.publish(network)
+
+    def test_find_sources_before_connect(self):
+        client = Client(1, "nick")
+        network = make_network(client)
+        with pytest.raises(RuntimeError):
+            client.find_sources(network, "f")
+
+
+class TestDownload:
+    def test_successful_download(self):
+        source = Client(1, "src")
+        target = Client(2, "dst")
+        the_file = multiblock_desc(3)
+        source.share(the_file)
+        network = make_network(source, target)
+        source.connect(network, 0)
+        target.connect(network, 0)
+        assert target.download(network, the_file)
+        assert the_file.file_id in target.shared_file_ids()
+        assert target.cache[the_file.file_id].is_complete
+
+    def test_download_publishes_file(self):
+        source = Client(1, "src")
+        target = Client(2, "dst")
+        the_file = desc()
+        source.share(the_file)
+        network = make_network(source, target)
+        source.connect(network, 0)
+        target.connect(network, 0)
+        target.download(network, the_file)
+        third = Client(3, "watcher")
+        network.add_client(third)
+        third.connect(network, 0)
+        assert sorted(third.find_sources(network, "f1")) == [1, 2]
+
+    def test_download_without_sources_fails(self):
+        target = Client(2, "dst")
+        network = make_network(target)
+        target.connect(network, 0)
+        assert not target.download(network, desc("nowhere"))
+        assert target.download_failures == 1
+
+    def test_corruption_detected_and_recovered(self):
+        corrupt = Client(1, "bad", ClientConfig(corrupts_uploads=True))
+        good = Client(2, "good")
+        target = Client(3, "dst")
+        the_file = desc()
+        corrupt.share(the_file)
+        good.share(the_file)
+        network = make_network(corrupt, good, target)
+        for c in (corrupt, good, target):
+            c.connect(network, 0)
+        assert target.download(network, the_file, sources=[1, 2])
+        assert target.corruptions_detected == 1
+
+    def test_corruption_only_source_fails(self):
+        corrupt = Client(1, "bad", ClientConfig(corrupts_uploads=True))
+        target = Client(3, "dst")
+        the_file = desc()
+        corrupt.share(the_file)
+        network = make_network(corrupt, target)
+        corrupt.connect(network, 0)
+        target.connect(network, 0)
+        assert not target.download(network, the_file)
+        assert target.corruptions_detected >= 1
+
+    def test_partial_sharing_from_partial_source(self):
+        """A source holding one verified block still serves that block."""
+        the_file = multiblock_desc(2)
+        partial = Client(1, "partial")
+        partial.cache[the_file.file_id] = SharedFile.empty(the_file)
+        partial.cache[the_file.file_id].blocks_present[0] = True
+        target = Client(2, "dst")
+        network = make_network(partial, target)
+        partial.connect(network, 0)
+        target.connect(network, 0)
+        # Download cannot complete (block 1 unavailable anywhere) but block
+        # 0 is fetched, and the target then shares the partial file.
+        assert not target.download(network, the_file, sources=[1])
+        assert target.cache[the_file.file_id].blocks_present[0]
+        assert the_file.file_id in target.shared_file_ids()
+
+    def test_firewalled_source_reached_via_callback(self):
+        """A firewalled source connected to a server is reachable through
+        the server-forced callback (Section 2.1)."""
+        source = Client(1, "src", ClientConfig(firewalled=True))
+        target = Client(2, "dst")
+        the_file = desc()
+        source.share(the_file)
+        network = make_network(source, target)
+        source.connect(network, 0)
+        target.connect(network, 0)
+        assert target.download(network, the_file, sources=[1])
+
+    def test_firewalled_source_without_server_unreachable(self):
+        source = Client(1, "src", ClientConfig(firewalled=True))
+        target = Client(2, "dst")
+        the_file = desc()
+        source.share(the_file)
+        network = make_network(source, target)
+        # The source never connects to a server: no callback possible.
+        target.connect(network, 0)
+        assert not target.download(network, the_file, sources=[1])
+
+    def test_two_firewalled_peers_cannot_exchange(self):
+        source = Client(1, "src", ClientConfig(firewalled=True))
+        target = Client(2, "dst", ClientConfig(firewalled=True))
+        the_file = desc()
+        source.share(the_file)
+        network = make_network(source, target)
+        source.connect(network, 0)
+        target.connect(network, 0)
+        assert not target.download(network, the_file, sources=[1])

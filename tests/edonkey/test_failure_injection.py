@@ -1,0 +1,98 @@
+"""Failure-injection tests: corrupted uploads in a live network.
+
+eDonkey's per-block MD4 checksums exist exactly for this (Section 2.1:
+"corruption detection"); these tests verify the end-to-end behaviour —
+corrupt sources are detected, downloads recover via redundancy, and only
+fail when every source is corrupt.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.edonkey.client import Client, ClientConfig
+from repro.edonkey.messages import FileDescription
+from repro.edonkey.network import Network, NetworkConfig, build_network
+from repro.edonkey.server import Server
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+def make_network(*clients):
+    config = NetworkConfig(workload=WorkloadConfig().small())
+    generator = SyntheticWorkloadGenerator(config=config.workload, seed=0)
+    generator.build()
+    network = Network(generator, config)
+    network.add_server(Server(0))
+    for client in clients:
+        network.add_client(client)
+        client.connect(network, 0)
+    return network
+
+
+def the_file():
+    return FileDescription(file_id="payload", name="payload", size=5000)
+
+
+class TestRedundancyRecovers:
+    def test_majority_corrupt_still_succeeds(self):
+        corrupt = [
+            Client(i, f"bad{i}", ClientConfig(corrupts_uploads=True))
+            for i in range(1, 4)
+        ]
+        good = Client(4, "good")
+        target = Client(5, "dst")
+        for c in corrupt + [good]:
+            c.share(the_file())
+        network = make_network(*(corrupt + [good, target]))
+        assert target.download(network, the_file(), sources=[1, 2, 3, 4])
+        assert target.corruptions_detected == 3
+
+    def test_all_corrupt_fails_but_is_detected(self):
+        corrupt = [
+            Client(i, f"bad{i}", ClientConfig(corrupts_uploads=True))
+            for i in range(1, 3)
+        ]
+        target = Client(5, "dst")
+        for c in corrupt:
+            c.share(the_file())
+        network = make_network(*(corrupt + [target]))
+        assert not target.download(network, the_file(), sources=[1, 2])
+        assert target.corruptions_detected == 2
+        # The corrupt data never entered the cache as a verified block.
+        assert "payload" not in target.shared_file_ids()
+
+
+class TestBuiltNetworkInjection:
+    def test_corrupt_fraction_applied(self):
+        workload = dataclasses.replace(
+            WorkloadConfig().small(),
+            num_clients=100,
+            num_files=1500,
+            days=4,
+            mainstream_pool_size=100,
+        )
+        network = build_network(
+            NetworkConfig(workload=workload, corrupt_fraction=0.3), seed=9
+        )
+        corrupt = sum(
+            1 for c in network.clients.values() if c.config.corrupts_uploads
+        )
+        assert 0.15 * len(network.clients) < corrupt < 0.45 * len(network.clients)
+
+    def test_zero_fraction_default(self):
+        workload = dataclasses.replace(
+            WorkloadConfig().small(),
+            num_clients=40,
+            num_files=600,
+            days=3,
+            mainstream_pool_size=40,
+        )
+        network = build_network(NetworkConfig(workload=workload), seed=9)
+        assert not any(
+            c.config.corrupts_uploads for c in network.clients.values()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(corrupt_fraction=1.5)

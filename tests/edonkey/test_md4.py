@@ -1,0 +1,87 @@
+"""MD4 against the RFC 1320 appendix test vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.edonkey.md4 import MD4, md4_digest, md4_hex
+
+#: The official RFC 1320 test suite.
+RFC_VECTORS = [
+    (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+    (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+    (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+    (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+    (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+    (
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "043f8582f241db351ce627e153e7f0e4",
+    ),
+    (
+        b"1234567890" * 8,
+        "e33b4ddc9c38f2199c3e7b164fcc0536",
+    ),
+]
+
+
+class TestRfcVectors:
+    @pytest.mark.parametrize("message,expected", RFC_VECTORS)
+    def test_vector(self, message, expected):
+        assert md4_hex(message) == expected
+
+
+class TestIncremental:
+    def test_chunked_update_matches_oneshot(self):
+        message = b"The quick brown fox jumps over the lazy dog" * 13
+        one_shot = MD4(message).hexdigest()
+        chunked = MD4()
+        for i in range(0, len(message), 7):
+            chunked.update(message[i : i + 7])
+        assert chunked.hexdigest() == one_shot
+
+    @given(st.binary(max_size=400), st.integers(min_value=1, max_value=64))
+    def test_any_chunking_matches(self, message, chunk):
+        one_shot = MD4(message).digest()
+        incremental = MD4()
+        for i in range(0, len(message), chunk):
+            incremental.update(message[i : i + chunk])
+        assert incremental.digest() == one_shot
+
+    def test_digest_does_not_consume_state(self):
+        h = MD4(b"abc")
+        assert h.digest() == h.digest()
+        h.update(b"def")
+        assert h.hexdigest() == MD4(b"abcdef").hexdigest()
+
+    def test_copy_is_independent(self):
+        h = MD4(b"abc")
+        clone = h.copy()
+        clone.update(b"xyz")
+        assert h.hexdigest() == MD4(b"abc").hexdigest()
+        assert clone.hexdigest() == MD4(b"abcxyz").hexdigest()
+
+
+class TestApi:
+    def test_digest_size(self):
+        assert len(md4_digest(b"x")) == 16
+        assert MD4.digest_size == 16
+        assert MD4.block_size == 64
+
+    def test_rejects_text(self):
+        with pytest.raises(TypeError):
+            MD4().update("not bytes")  # type: ignore[arg-type]
+
+    def test_accepts_bytearray_and_memoryview(self):
+        assert MD4(bytearray(b"abc")).hexdigest() == md4_hex(b"abc")
+        h = MD4()
+        h.update(memoryview(b"abc"))
+        assert h.hexdigest() == md4_hex(b"abc")
+
+    def test_block_boundary_lengths(self):
+        # Padding edge cases: lengths around the 55/56/64-byte boundaries.
+        for n in (54, 55, 56, 57, 63, 64, 65, 119, 120, 128):
+            data = bytes(range(256))[:n] * 1
+            incremental = MD4()
+            incremental.update(data[: n // 2])
+            incremental.update(data[n // 2 :])
+            assert incremental.digest() == MD4(data).digest(), n

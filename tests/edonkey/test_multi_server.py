@@ -1,0 +1,117 @@
+"""Tests for multi-server search (TCP + UDP spray) and callbacks."""
+
+import pytest
+
+from repro.edonkey.client import Client
+from repro.edonkey.messages import (
+    CallbackRequest,
+    FileDescription,
+    Keyword,
+    UdpSearchRequest,
+)
+from repro.edonkey.network import Network, NetworkConfig
+from repro.edonkey.server import Server
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+def desc(file_id, name):
+    return FileDescription(file_id=file_id, name=name, size=1000)
+
+
+def make_multi_server_network(num_servers=3):
+    config = NetworkConfig(workload=WorkloadConfig().small())
+    generator = SyntheticWorkloadGenerator(config=config.workload, seed=0)
+    generator.build()
+    network = Network(generator, config)
+    for i in range(num_servers):
+        network.add_server(Server(i))
+    return network
+
+
+class TestUdpSearch:
+    def test_results_from_remote_servers(self):
+        network = make_multi_server_network()
+        # publisher on server 2, searcher on server 0
+        publisher = Client(1, "pub")
+        publisher.share(desc("remote-file", "unique keyword song"))
+        network.add_client(publisher)
+        publisher.connect(network, 2)
+
+        searcher = Client(2, "seek")
+        network.add_client(searcher)
+        searcher.connect(network, 0)
+
+        local_only = searcher.search(network, Keyword("unique"))
+        assert local_only == []
+        everywhere = searcher.search_all_servers(network, Keyword("unique"))
+        assert [d.file_id for d in everywhere] == ["remote-file"]
+
+    def test_deduplication_across_servers(self):
+        network = make_multi_server_network()
+        for client_id, server_id in ((1, 0), (2, 1), (3, 2)):
+            publisher = Client(client_id, f"pub{client_id}")
+            publisher.share(desc("same-file", "dupe keyword"))
+            network.add_client(publisher)
+            publisher.connect(network, server_id)
+        searcher = Client(9, "seek")
+        network.add_client(searcher)
+        searcher.connect(network, 0)
+        results = searcher.search_all_servers(network, Keyword("dupe"))
+        assert [d.file_id for d in results] == ["same-file"]
+
+    def test_udp_reply_limit(self):
+        network = make_multi_server_network(num_servers=2)
+        publisher = Client(1, "pub")
+        for i in range(80):
+            publisher.share(desc(f"f{i}", "bulk keyword"))
+        network.add_client(publisher)
+        publisher.connect(network, 1)
+        reply = network.to_server(
+            1, UdpSearchRequest(client_id=9, query=Keyword("bulk"))
+        )
+        assert len(reply.results) == 50  # UDP budget
+        assert reply.truncated
+
+    def test_search_before_connect(self):
+        network = make_multi_server_network()
+        client = Client(5, "x")
+        network.add_client(client)
+        with pytest.raises(RuntimeError):
+            client.search(network, Keyword("x"))
+
+    def test_unknown_server_ignored(self):
+        network = make_multi_server_network(num_servers=1)
+        searcher = Client(2, "seek")
+        network.add_client(searcher)
+        searcher.connect(network, 0)
+        searcher.known_servers.add(99)  # stale server-list entry
+        assert searcher.search_all_servers(network, Keyword("whatever")) == []
+
+
+class TestCallback:
+    def test_server_grants_callback_for_session(self):
+        network = make_multi_server_network(num_servers=1)
+        client = Client(1, "fw")
+        network.add_client(client)
+        client.connect(network, 0)
+        granted = network.to_server(
+            0, CallbackRequest(requester_id=9, target_id=1)
+        )
+        assert granted is True
+
+    def test_server_denies_unknown_target(self):
+        network = make_multi_server_network(num_servers=1)
+        granted = network.to_server(
+            0, CallbackRequest(requester_id=9, target_id=42)
+        )
+        assert granted is False
+
+    def test_message_stats_count_udp_and_callbacks(self):
+        network = make_multi_server_network(num_servers=1)
+        network.to_server(0, CallbackRequest(requester_id=1, target_id=2))
+        network.to_server(
+            0, UdpSearchRequest(client_id=1, query=Keyword("x"))
+        )
+        assert network.stats.sent["CallbackRequest"] == 1
+        assert network.stats.sent["UdpSearchRequest"] == 1

@@ -1,0 +1,141 @@
+"""End-to-end tests: network construction and multi-day crawls."""
+
+import dataclasses
+
+import pytest
+
+from repro.edonkey.crawler import Crawler, CrawlerConfig
+from repro.edonkey.network import NetworkConfig, build_network
+from repro.trace.stats import general_characteristics
+from repro.workload.config import WorkloadConfig
+
+
+def tiny_network_config(**kwargs):
+    workload = dataclasses.replace(
+        WorkloadConfig().small(),
+        num_clients=60,
+        num_files=800,
+        days=6,
+        mainstream_pool_size=60,
+    )
+    defaults = dict(num_servers=2, workload=workload)
+    defaults.update(kwargs)
+    return NetworkConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(tiny_network_config(), seed=5)
+
+
+@pytest.fixture(scope="module")
+def crawl_result(network):
+    crawler = Crawler(
+        network,
+        CrawlerConfig(days=4, browse_budget_start=500, browse_budget_end=400),
+        seed=5,
+    )
+    trace = crawler.crawl()
+    return crawler, trace
+
+
+class TestBuildNetwork:
+    def test_servers_and_clients_created(self, network):
+        assert len(network.servers) == 2
+        assert len(network.clients) >= 60
+
+    def test_all_clients_connected(self, network):
+        for client in network.clients.values():
+            assert client.server_id in network.servers
+
+    def test_sharers_published(self, network):
+        sharers = [
+            p
+            for p in network.generator.profiles
+            if not p.free_rider and p.target_cache_size > 0
+        ]
+        published = 0
+        for profile in sharers:
+            client = network.clients[profile.meta.client_id]
+            if client.shared_file_ids():
+                published += 1
+        assert published > 0
+
+    def test_advance_day_churns(self, network):
+        before = {
+            cid: set(network.cache_indices(cid)) for cid in network.clients
+        }
+        network.advance_day()
+        changed = sum(
+            1
+            for cid in network.clients
+            if set(network.cache_indices(cid)) != before[cid]
+        )
+        assert changed > 0
+
+
+class TestCrawl:
+    def test_trace_has_snapshots(self, crawl_result):
+        _, trace = crawl_result
+        assert trace.num_snapshots > 0
+        assert len(trace.days()) == 4
+
+    def test_firewalled_clients_never_browsed(self, crawl_result, network):
+        _, trace = crawl_result
+        firewalled = {
+            cid
+            for cid, client in network.clients.items()
+            if client.config.firewalled
+        }
+        assert firewalled, "expected some firewalled clients"
+        assert not (set(trace.clients) & firewalled)
+
+    def test_browse_disabled_clients_absent(self, crawl_result, network):
+        _, trace = crawl_result
+        hidden = {
+            cid
+            for cid, client in network.clients.items()
+            if not client.config.browseable
+        }
+        assert not (set(trace.clients) & hidden)
+
+    def test_stats_accounting(self, crawl_result):
+        crawler, _ = crawl_result
+        stats = crawler.stats
+        assert stats.nickname_queries > 0
+        assert stats.users_discovered > 0
+        assert stats.browse_succeeded > 0
+        assert (
+            stats.browse_attempts
+            == stats.browse_succeeded + stats.browse_refused
+        )
+
+    def test_trace_feeds_analysis_pipeline(self, crawl_result):
+        _, trace = crawl_result
+        chars = general_characteristics(trace)
+        assert chars.num_clients == len(trace.clients)
+        assert chars.num_distinct_files > 0
+
+    def test_file_metadata_recorded(self, crawl_result):
+        _, trace = crawl_result
+        assert trace.distinct_files() <= set(trace.files)
+
+
+class TestQueryUsersDependency:
+    def test_crawl_collapses_without_query_users(self):
+        """If no server supports query-users, the crawler finds nobody —
+        the paper's observation that such traces can no longer be
+        collected."""
+        config = tiny_network_config(query_users_support_fraction=0.0)
+        network = build_network(config, seed=6)
+        crawler = Crawler(network, CrawlerConfig(days=2), seed=6)
+        trace = crawler.crawl()
+        assert trace.num_snapshots == 0
+        assert crawler.stats.users_discovered == 0
+        assert crawler.stats.servers_without_query_users == len(network.servers)
+
+    def test_budget_decays(self):
+        config = CrawlerConfig(days=10, browse_budget_start=100, browse_budget_end=50)
+        assert config.budget_on(0) == 100
+        assert config.budget_on(9) == 50
+        assert config.budget_on(5) < 100

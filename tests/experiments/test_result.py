@@ -1,0 +1,75 @@
+"""Tests for the ExperimentResult container."""
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+from repro.util.cdf import Series
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="figure-0",
+        title="A test figure",
+        series=[Series("curve", [1, 2], [3, 4])],
+        table_text="col\n---\nval",
+        metrics={"alpha": 0.5},
+        notes="a note",
+    )
+
+
+class TestRender:
+    def test_contains_all_sections(self):
+        text = sample_result().render()
+        assert "figure-0" in text
+        assert "A test figure" in text
+        assert "curve" in text
+        assert "alpha=0.5" in text
+        assert "a note" in text
+        assert "col" in text
+
+    def test_minimal(self):
+        text = ExperimentResult(experiment_id="x", title="t").render()
+        assert "x: t" in text
+
+
+class TestAccessors:
+    def test_metric(self):
+        assert sample_result().metric("alpha") == 0.5
+
+    def test_metric_missing(self):
+        with pytest.raises(KeyError, match="alpha"):
+            sample_result().metric("beta")
+
+    def test_series_named(self):
+        assert sample_result().series_named("curve").ys == [3, 4]
+
+    def test_series_missing(self):
+        with pytest.raises(KeyError):
+            sample_result().series_named("nope")
+
+
+class TestCsvExport:
+    def test_series_rows(self):
+        text = sample_result().to_csv()
+        assert "series:curve,1,3" in text.replace("\r", "")
+        assert "metric,alpha,0.5" in text.replace("\r", "")
+
+    def test_header_row(self):
+        first_line = sample_result().to_csv().splitlines()[0]
+        assert first_line == "kind,name_or_x,value"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "figure.csv"
+        sample_result().write_csv(path)
+        assert path.read_text().startswith("kind,")
+
+    def test_comma_in_series_name_quoted(self):
+        from repro.util.cdf import Series
+
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            series=[Series("a, b", [1], [2])],
+        )
+        line = result.to_csv().splitlines()[1]
+        assert line.startswith('"series:a, b"')

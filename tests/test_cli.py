@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_IDS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.strategy == "lru"
+        assert args.list_sizes == [5, 10, 20]
+        assert not args.two_hop
+
+
+class TestGenerateAndStats:
+    def test_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl.gz"
+        # Use a tiny custom run by reusing the small scale.
+        rc = main(["generate", "--scale", "small", "--seed", "5", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        rc = main(["stats", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "filtered" in captured
+        assert "extrapolated" in captured
+
+    def test_anonymize_flag(self, tmp_path, capsys):
+        out = tmp_path / "anon.jsonl.gz"
+        rc = main(
+            ["generate", "--scale", "small", "--seed", "5", "-o", str(out),
+             "--anonymize"]
+        )
+        assert rc == 0
+        from repro.trace.io import load_trace
+
+        trace = load_trace(out)
+        # anonymized nicknames are hex tokens, not pool names
+        nickname = next(iter(trace.clients.values())).nickname
+        assert len(nickname) == 8
+        int(nickname, 16)
+
+
+class TestSearchCommand:
+    def test_synthetic_search(self, capsys):
+        rc = main(
+            ["search", "--scale", "small", "--seed", "3",
+             "--list-sizes", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LRU semantic search" in out
+        assert "hit rate" in out
+
+    def test_two_hop_flag(self, capsys):
+        rc = main(
+            ["search", "--scale", "small", "--seed", "3",
+             "--list-sizes", "5", "--two-hop", "--strategy", "history"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HISTORY" in out
+        assert "two-hop" in out
+
+    def test_search_on_saved_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        main(["generate", "--scale", "small", "--seed", "4", "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["search", "--trace", str(out), "--list-sizes", "5"])
+        assert rc == 0
+        assert "hit rate" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_known_id(self, capsys):
+        rc = main(["experiment", "--scale", "small", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table-2" in out
+
+    def test_unknown_id(self, capsys):
+        rc = main(["experiment", "--scale", "small", "fig99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_id_table_is_complete(self):
+        import repro.experiments as experiments
+
+        for runner_name in set(EXPERIMENT_IDS.values()):
+            assert hasattr(experiments, runner_name) or runner_name == (
+                "run_flooding_estimate"
+            )
+
+
+class TestAnalyzeCommand:
+    def test_synthetic(self, capsys):
+        rc = main(["analyze", "--scale", "small", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "autonomous systems" in out
+        assert "common file" in out
+
+
+class TestCrawlCommand:
+    def test_crawl_and_save(self, tmp_path, capsys):
+        out = tmp_path / "crawl.jsonl.gz"
+        rc = main(
+            ["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+             "-o", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "snapshots" in capsys.readouterr().out
+
+
+class TestCalibrateCommand:
+    def test_synthetic_calibration_passes(self, capsys):
+        rc = main(["calibrate", "--scale", "small", "--seed", "20060418"])
+        out = capsys.readouterr().out
+        assert "calibration report" in out
+        assert "targets within band" in out
+        assert rc == 0
+
+    def test_calibrate_saved_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl.gz"
+        main(["generate", "--scale", "small", "--seed", "20060418", "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["calibrate", "--trace", str(out)])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""End-to-end integration: crawl → persist → reload → full pipeline.
+
+Exercises the complete user journey across subsystem boundaries: the
+protocol-level crawler produces a trace, the trace round-trips through
+the on-disk format, the paper's pipeline (filter + extrapolate) runs on
+it, and both the analyses and the search simulator consume the result.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.geographic import top_as_table
+from repro.analysis.semantic import clustering_correlation
+from repro.core.search import SearchConfig, simulate_search
+from repro.edonkey.crawler import Crawler, CrawlerConfig
+from repro.edonkey.network import NetworkConfig, build_network
+from repro.trace.extrapolation import ExtrapolationConfig, extrapolate
+from repro.trace.filtering import filter_duplicates
+from repro.trace.io import anonymize, load_trace, save_trace
+from repro.trace.stats import general_characteristics
+from repro.workload.config import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def crawled_trace_path(tmp_path_factory):
+    workload = dataclasses.replace(
+        WorkloadConfig().small(),
+        num_clients=100,
+        num_files=1500,
+        days=8,
+        mainstream_pool_size=100,
+    )
+    network = build_network(
+        NetworkConfig(workload=workload, firewalled_fraction=0.2), seed=31
+    )
+    crawler = Crawler(
+        network,
+        CrawlerConfig(days=7, browse_budget_start=400, browse_budget_end=300),
+        seed=31,
+    )
+    trace = crawler.crawl()
+    path = tmp_path_factory.mktemp("e2e") / "crawl.jsonl.gz"
+    save_trace(anonymize(trace), path)
+    return path
+
+
+class TestEndToEnd:
+    def test_reload_preserves_structure(self, crawled_trace_path):
+        trace = load_trace(crawled_trace_path)
+        chars = general_characteristics(trace)
+        assert chars.num_snapshots > 0
+        assert chars.num_distinct_files > 0
+        assert 0.0 < chars.free_rider_fraction < 1.0
+
+    def test_pipeline_runs_on_crawled_trace(self, crawled_trace_path):
+        trace = load_trace(crawled_trace_path)
+        filtered = filter_duplicates(trace)
+        extrapolated = extrapolate(
+            filtered, ExtrapolationConfig(min_connections=3, min_span_days=3)
+        )
+        assert len(filtered.clients) <= len(trace.clients)
+        assert extrapolated.num_snapshots >= 0
+
+    def test_analyses_consume_crawled_trace(self, crawled_trace_path):
+        trace = load_trace(crawled_trace_path)
+        filtered = filter_duplicates(trace)
+        rows = top_as_table(filtered, 3)
+        assert rows and all(0 < r.global_share <= 1 for r in rows)
+        static = filtered.to_static()
+        caches = {c: f for c, f in static.caches.items() if f}
+        correlation = clustering_correlation(caches)
+        assert len(correlation) >= 1
+        assert correlation.ys[0] > 0
+
+    def test_search_runs_on_crawled_trace(self, crawled_trace_path):
+        trace = load_trace(crawled_trace_path)
+        static = filter_duplicates(trace).to_static()
+        result = simulate_search(
+            static, SearchConfig(list_size=5, track_load=False, seed=31)
+        )
+        assert result.rates.contributions > 0
+        # The crawled-trace workload clusters too: the semantic lists beat
+        # nothing-at-all by construction; just assert sanity bounds here.
+        assert 0.0 <= result.hit_rate <= 1.0
+
+    def test_anonymization_stuck(self, crawled_trace_path):
+        trace = load_trace(crawled_trace_path)
+        for meta in list(trace.clients.values())[:10]:
+            # anonymized fields are fixed-length hex tokens
+            int(meta.ip, 16)
+            int(meta.uid, 16)

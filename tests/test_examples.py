@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are a deliverable; these tests keep them working as the API
+evolves.  They run in subprocesses (as a user would) at small scale.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", ["--scale", "small", "--seed", "3"]),
+    ("crawl_simulation.py", ["--clients", "60", "--days", "3"]),
+    ("clustering_analysis.py", ["--scale", "small", "--seed", "3"]),
+    ("rare_file_search.py", ["--scale", "small", "--seed", "3"]),
+    ("semantic_overlay.py", ["--scale", "small", "--rounds", "8"]),
+    ("peercache_planning.py", ["--scale", "small", "--seed", "3"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_have_docstrings_and_help():
+    for script, _ in EXAMPLES:
+        source = (EXAMPLES_DIR / script).read_text()
+        assert source.lstrip().startswith(("#!/usr/bin/env python", '"""')), script
+        assert "argparse" in source, f"{script} should expose --help"
+
+
+def test_examples_readme_lists_all():
+    readme = (EXAMPLES_DIR / "README.md").read_text()
+    for script, _ in EXAMPLES:
+        assert script in readme, f"{script} missing from examples/README.md"

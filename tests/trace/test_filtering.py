@@ -1,0 +1,71 @@
+"""Tests for duplicate-client filtering."""
+
+from repro.trace.filtering import duplicate_clients, filter_duplicates
+from tests.conftest import build_trace, make_client
+
+
+def trace_with_dupes():
+    # 0 and 1 share an IP; 2 and 3 share a UID; 4 is unique; 5 is a
+    # free-rider sharing an IP with 0/1.
+    clients = [
+        make_client(0, ip="1.1.1.1"),
+        make_client(1, ip="1.1.1.1"),
+        make_client(2, uid="same-uid", ip="2.2.2.2"),
+        make_client(3, uid="same-uid", ip="3.3.3.3"),
+        make_client(4, ip="4.4.4.4"),
+        make_client(5, ip="1.1.1.1"),
+    ]
+    return build_trace(
+        {1: {0: ["a"], 1: ["b"], 2: ["c"], 3: ["d"], 4: ["e"], 5: []}},
+        clients=clients,
+    )
+
+
+class TestDuplicateClients:
+    def test_detects_ip_and_uid_groups(self):
+        dupes = duplicate_clients(trace_with_dupes())
+        assert dupes == {0, 1, 2, 3, 5}
+
+    def test_no_dupes(self):
+        trace = build_trace({1: {0: ["a"], 1: ["b"]}})
+        assert duplicate_clients(trace) == set()
+
+
+class TestFilterDuplicates:
+    def test_removes_sharing_duplicates(self):
+        filtered = filter_duplicates(trace_with_dupes())
+        assert set(filtered.clients) == {4, 5}
+
+    def test_keeps_free_riders_by_default(self):
+        filtered = filter_duplicates(trace_with_dupes())
+        assert 5 in filtered.clients
+
+    def test_can_drop_duplicated_free_riders(self):
+        filtered = filter_duplicates(trace_with_dupes(), keep_free_riders=False)
+        assert set(filtered.clients) == {4}
+
+    def test_snapshots_follow_clients(self):
+        filtered = filter_duplicates(trace_with_dupes())
+        assert sorted(filtered.observed_clients(1)) == [4, 5]
+
+    def test_file_metadata_preserved(self):
+        filtered = filter_duplicates(trace_with_dupes())
+        assert "e" in filtered.files
+
+    def test_noop_on_clean_trace(self):
+        trace = build_trace({1: {0: ["a"], 1: ["b"]}})
+        filtered = filter_duplicates(trace)
+        assert set(filtered.clients) == {0, 1}
+
+
+class TestGeneratedTrace:
+    def test_generator_duplicates_are_filtered(self, small_temporal_trace):
+        filtered = filter_duplicates(small_temporal_trace)
+        assert len(filtered.clients) < len(small_temporal_trace.clients)
+        # Filtering is idempotent on non-free-riders.
+        twice = filter_duplicates(filtered)
+        sharers_once = {
+            c for c in filtered.clients if not filtered.is_free_rider(c)
+        }
+        sharers_twice = {c for c in twice.clients if not twice.is_free_rider(c)}
+        assert sharers_once == sharers_twice

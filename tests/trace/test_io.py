@@ -1,0 +1,114 @@
+"""Tests for trace serialization and anonymization."""
+
+import pytest
+
+from repro.trace.filtering import duplicate_clients
+from repro.trace.io import (
+    anonymize,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+from tests.conftest import build_trace, make_client, make_file
+
+
+def sample_trace():
+    return build_trace(
+        {1: {0: ["a", "b"], 1: []}, 2: {0: ["b"]}},
+        clients=[
+            make_client(0, nickname="alice", country="DE", asn=3320),
+            make_client(1, nickname="bob"),
+        ],
+        files=[make_file("a", size=123, kind="video"), make_file("b")],
+    )
+
+
+def traces_equal(a, b) -> bool:
+    if a.files != b.files or a.clients != b.clients:
+        return False
+    return list(a.iter_snapshots()) == list(b.iter_snapshots())
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self):
+        trace = sample_trace()
+        assert traces_equal(loads_trace(dumps_trace(trace)), trace)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert traces_equal(load_trace(path), trace)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(trace, path)
+        assert traces_equal(load_trace(path), trace)
+        # The file really is gzip.
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+
+    def test_generated_trace_roundtrip(self, tmp_path, small_temporal_trace):
+        path = tmp_path / "gen.jsonl.gz"
+        save_trace(small_temporal_trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_snapshots == small_temporal_trace.num_snapshots
+        assert loaded.files == small_temporal_trace.files
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            loads_trace('{"type": "file", "id": "a", "size": 1}')
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            loads_trace('{"type": "header", "version": 999}')
+
+    def test_unknown_record_type(self):
+        text = '{"type": "header", "version": 1}\n{"type": "nope"}'
+        with pytest.raises(ValueError, match="nope"):
+            loads_trace(text)
+
+    def test_blank_lines_ignored(self):
+        text = '{"type": "header", "version": 1}\n\n\n'
+        trace = loads_trace(text)
+        assert trace.num_snapshots == 0
+
+
+class TestAnonymize:
+    def test_identities_hashed(self):
+        trace = sample_trace()
+        anon = anonymize(trace)
+        assert anon.clients[0].ip != trace.clients[0].ip
+        assert anon.clients[0].uid != trace.clients[0].uid
+        assert anon.clients[0].nickname != "alice"
+
+    def test_country_and_asn_preserved(self):
+        anon = anonymize(sample_trace())
+        assert anon.clients[0].country == "DE"
+        assert anon.clients[0].asn == 3320
+
+    def test_snapshots_preserved(self):
+        trace = sample_trace()
+        anon = anonymize(trace)
+        assert list(anon.iter_snapshots()) == list(trace.iter_snapshots())
+
+    def test_equality_preserving(self):
+        # Two clients sharing an IP still share one after anonymization, so
+        # duplicate filtering is unaffected.
+        trace = build_trace(
+            {1: {0: ["a"], 1: ["b"]}},
+            clients=[make_client(0, ip="9.9.9.9"), make_client(1, ip="9.9.9.9")],
+        )
+        anon = anonymize(trace)
+        assert anon.clients[0].ip == anon.clients[1].ip
+        assert duplicate_clients(anon) == duplicate_clients(trace)
+
+    def test_salt_changes_output(self):
+        trace = sample_trace()
+        a = anonymize(trace, salt="one")
+        b = anonymize(trace, salt="two")
+        assert a.clients[0].ip != b.clients[0].ip

@@ -1,0 +1,61 @@
+"""Tests for text-table and series rendering."""
+
+import pytest
+
+from repro.util.cdf import Series
+from repro.util.tables import format_table, percent, render_series
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bb"), [("x", 1), ("yyyy", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        # All rows share the same width layout.
+        assert len(lines[2]) >= len("yyyy  22") - 1
+
+    def test_title(self):
+        out = format_table(("h",), [("v",)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.123456,)])
+        assert "0.123" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_renders_points(self):
+        s = Series(name="curve", xs=[1, 2], ys=[3, 4])
+        out = render_series([s])
+        assert "curve" in out
+        assert "(1, 3)" in out
+
+    def test_downsamples_long_series(self):
+        s = Series(name="long", xs=list(range(1000)), ys=list(range(1000)))
+        out = render_series([s], max_points=10)
+        assert out.count("(") <= 11
+        assert "(0, 0)" in out
+        assert "(999, 999)" in out
+
+    def test_empty_series(self):
+        out = render_series([Series(name="none")])
+        assert "<empty>" in out
+
+    def test_title(self):
+        out = render_series([], title="My title")
+        assert out.startswith("My title")
+
+
+class TestPercent:
+    def test_format(self):
+        assert percent(0.41) == "41.0%"
+        assert percent(0.0) == "0.0%"
+        assert percent(1.0) == "100.0%"

@@ -1,0 +1,82 @@
+"""Tests for the workload calibration report."""
+
+import pytest
+
+from repro.workload.calibration import (
+    CalibrationCheck,
+    _check,
+    all_passed,
+    calibration_report,
+    render_report,
+)
+
+
+class TestCheckHelper:
+    def test_within_band(self):
+        check = _check("x", "1", 0.5, 0.4, 0.6)
+        assert check.ok
+        assert check.measured == "0.50"
+
+    def test_outside_band(self):
+        assert not _check("x", "1", 0.9, 0.4, 0.6).ok
+
+    def test_custom_format(self):
+        check = _check("x", "1", 42.123, 0, 100, fmt="{:.0f}")
+        assert check.measured == "42"
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def checks(self, request):
+        small_trace = request.getfixturevalue("small_temporal_trace")
+        return calibration_report(small_trace)
+
+    # indirection so a class fixture can use a session fixture
+    @pytest.fixture(scope="class")
+    def small_temporal_trace(self, request):
+        from repro.workload.config import WorkloadConfig
+        from repro.workload.generator import SyntheticWorkloadGenerator
+
+        return SyntheticWorkloadGenerator(
+            config=WorkloadConfig().small(), seed=7
+        ).generate()
+
+    def test_covers_every_target_family(self, checks):
+        names = " ".join(c.name for c in checks)
+        for keyword in ("free-rider", "zipf", "1MB", "FR", "spread", "common"):
+            assert keyword in names
+
+    def test_default_workload_calibrated(self, checks):
+        failures = [c.name for c in checks if not c.ok]
+        assert not failures, f"calibration drifted: {failures}"
+
+    def test_render_contains_summary(self, checks):
+        text = render_report(checks)
+        assert "targets within band" in text
+        assert "PASS" in text
+
+    def test_all_passed_helper(self):
+        good = [CalibrationCheck("a", "1", "1", True)]
+        bad = good + [CalibrationCheck("b", "2", "9", False)]
+        assert all_passed(good)
+        assert not all_passed(bad)
+
+
+class TestMiscalibration:
+    def test_broken_workload_flagged(self):
+        """Drastically de-clustered parameters must fail some check."""
+        import dataclasses
+
+        from repro.workload.config import WorkloadConfig
+        from repro.workload.generator import SyntheticWorkloadGenerator
+
+        config = dataclasses.replace(
+            WorkloadConfig().small(),
+            free_rider_fraction=0.05,  # nearly everyone shares
+            interest_loyalty=0.0,  # no clustering
+        )
+        trace = SyntheticWorkloadGenerator(config=config, seed=7).generate()
+        checks = calibration_report(trace)
+        assert not all_passed(checks)
+        failing = {c.name for c in checks if not c.ok}
+        assert "free-rider fraction (filtered)" in failing

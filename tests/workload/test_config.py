@@ -1,0 +1,67 @@
+"""Tests for workload configuration validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.workload.config import WorkloadConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_clients", 0),
+            ("num_files", 0),
+            ("days", 0),
+            ("free_rider_fraction", 1.2),
+            ("duplicate_fraction", -0.1),
+            ("file_alpha", -1.0),
+            ("preexisting_fraction", 2.0),
+            ("cache_size_median", 0),
+            ("cache_size_sigma", 0),
+            ("interest_loyalty", 1.5),
+            ("mainstream_prob", -0.2),
+            ("mainstream_pool_size", 0),
+            ("daily_adds_mean", -1.0),
+            ("shock_half_life_days", 0),
+            ("shock_trend_cap", 1.5),
+            ("obs_capacity_start", 1.5),
+            ("online_alpha", 0),
+            ("outage_days", -1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(WorkloadConfig(), **{field: value})
+
+    def test_shock_files_bounded_by_universe(self):
+        with pytest.raises(ValueError, match="num_shock_files"):
+            dataclasses.replace(
+                WorkloadConfig(),
+                num_files=5000,
+                mainstream_pool_size=100,
+                num_shock_files=6000,
+            )
+
+    def test_mainstream_pool_bounded_by_universe(self):
+        with pytest.raises(ValueError, match="mainstream_pool_size"):
+            dataclasses.replace(WorkloadConfig(), num_files=100)
+
+
+class TestDerived:
+    def test_end_day(self):
+        config = WorkloadConfig()
+        assert config.end_day == config.start_day + config.days
+
+    def test_small_is_valid_and_smaller(self):
+        config = WorkloadConfig()
+        small = config.small()
+        assert small.num_clients < config.num_clients
+        assert small.num_files < config.num_files
+        assert small.days < config.days
+        # Validation ran on the replaced instance.
+        assert small.mainstream_pool_size <= small.num_files
