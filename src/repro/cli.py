@@ -22,8 +22,16 @@ from typing import List, Optional
 from repro.experiments.configs import Scale, workload_config
 
 
+_SCALES = {"small": Scale.SMALL, "default": Scale.DEFAULT, "large": Scale.LARGE}
+
+
 def _scale(name: str) -> Scale:
-    return {"small": Scale.SMALL, "default": Scale.DEFAULT, "large": Scale.LARGE}[name]
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown scale {name!r}; choose from {', '.join(sorted(_SCALES))}"
+        ) from None
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -159,6 +167,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         static = static.without_clients(aliases)
 
     rows = []
+    faulty = args.loss_rate > 0 or args.availability < 1 or args.evict_dead
     for list_size in args.list_sizes:
         result = simulate_search(
             static,
@@ -167,14 +176,23 @@ def cmd_search(args: argparse.Namespace) -> int:
                 strategy=args.strategy,
                 two_hop=args.two_hop,
                 track_load=False,
+                availability=args.availability,
+                probe_loss_rate=args.loss_rate,
+                evict_dead=args.evict_dead,
                 seed=args.seed,
             ),
         )
-        rows.append((list_size, result.rates.requests, percent(result.hit_rate)))
+        row = (list_size, result.rates.requests, percent(result.hit_rate))
+        if faulty:
+            row += (result.probes_lost, result.evictions)
+        rows.append(row)
     hop = "two-hop" if args.two_hop else "one-hop"
+    headers = ("neighbours", "requests", "hit rate")
+    if faulty:
+        headers += ("probes lost", "evictions")
     print(
         format_table(
-            ("neighbours", "requests", "hit rate"),
+            headers,
             rows,
             title=f"{args.strategy.upper()} semantic search ({hop})",
         )
@@ -226,6 +244,7 @@ EXPERIMENT_IDS = {
     "mechanisms": "run_mechanism_comparison",
     "cost-benefit": "run_cost_benefit",
     "sensitivity": "run_loyalty_sensitivity",
+    "faults": "run_fault_degradation",
 }
 
 
@@ -275,6 +294,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
 
     from repro.edonkey.crawler import Crawler, CrawlerConfig
     from repro.edonkey.network import NetworkConfig, build_network
+    from repro.faults import FaultConfig, RetryPolicy
     from repro.trace.io import save_trace
     from repro.trace.stats import general_characteristics
     from repro.util.tables import percent
@@ -286,8 +306,23 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         days=args.days,
         mainstream_pool_size=min(args.clients, max(args.clients * 15, 500)),
     )
-    network = build_network(NetworkConfig(workload=workload), seed=args.seed)
-    crawler = Crawler(network, CrawlerConfig(days=args.days), seed=args.seed)
+    faults = FaultConfig(
+        loss_rate=args.loss_rate,
+        slow_rate=args.slow_rate,
+        deadline=args.timeout,
+        malformed_rate=args.malformed_rate,
+        peer_downtime=args.peer_downtime,
+        server_crash_day=args.server_crash_day,
+        server_crash_id=args.server_crash_id,
+        server_downtime_days=args.server_downtime,
+    )
+    network = build_network(
+        NetworkConfig(workload=workload, faults=faults), seed=args.seed
+    )
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    crawler = Crawler(
+        network, CrawlerConfig(days=args.days, retry=retry), seed=args.seed
+    )
     print(f"Crawling {args.clients} clients for {args.days} days...")
     trace = crawler.crawl()
     chars = general_characteristics(trace)
@@ -296,6 +331,8 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         f"clients ({percent(chars.free_rider_fraction)} free-riders), "
         f"{chars.num_distinct_files} files."
     )
+    if network.faults.enabled:
+        print(crawler.degradation_report(trace).render())
     if args.output:
         save_trace(trace, args.output)
         print(f"Wrote trace to {args.output}")
@@ -337,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="lru")
     p.add_argument("--two-hop", action="store_true")
     p.add_argument("--list-sizes", type=int, nargs="+", default=[5, 10, 20])
+    p.add_argument("--availability", type=float, default=1.0,
+                   help="probability a probed neighbour is online")
+    p.add_argument("--loss-rate", type=float, default=0.0,
+                   help="probability a neighbour probe is lost (one-hop only)")
+    p.add_argument("--evict-dead", action="store_true",
+                   help="evict neighbours whose probes keep failing")
     p.set_defaults(func=cmd_search)
 
     p = subparsers.add_parser("experiment", help="reproduce a paper artefact")
@@ -356,6 +399,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=120)
     p.add_argument("--days", type=int, default=5)
     p.add_argument("--output", "-o", help="save the crawled trace here")
+    p.add_argument("--loss-rate", type=float, default=0.0,
+                   help="probability any message is silently dropped")
+    p.add_argument("--slow-rate", type=float, default=0.0,
+                   help="probability a reply is slower than the deadline")
+    p.add_argument("--malformed-rate", type=float, default=0.0,
+                   help="probability a reply comes back with an empty payload")
+    p.add_argument("--peer-downtime", type=float, default=0.0,
+                   help="fraction of peers transiently unreachable each day")
+    p.add_argument("--server-crash-day", type=int, default=None,
+                   help="crash a server at the start of this day (0-based)")
+    p.add_argument("--server-crash-id", type=int, default=0,
+                   help="which server crashes (default: server 0)")
+    p.add_argument("--server-downtime", type=int, default=2,
+                   help="days the crashed server stays down")
+    p.add_argument("--retries", type=int, default=0,
+                   help="crawler retries per failed request (0 disables)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="reply deadline in seconds (slow replies miss it)")
     p.set_defaults(func=cmd_crawl)
 
     return parser

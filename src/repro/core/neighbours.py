@@ -62,6 +62,13 @@ class NeighbourStrategy(ABC):
         except ValueError:
             return None
 
+    def evict(self, peer: ClientId) -> None:
+        """Forget ``peer`` (dead-neighbour detection: it stopped answering).
+
+        Strategies without learned state (Random, Fixed) ignore evictions —
+        there is nothing to forget."""
+        return
+
     def __len__(self) -> int:
         return len(self.ordered())
 
@@ -94,6 +101,11 @@ class LRUNeighbours(NeighbourStrategy):
         while len(self._list) > self.capacity:
             evicted = self._list.pop()
             del self._members[evicted]
+
+    def evict(self, peer: ClientId) -> None:
+        if peer in self._members:
+            self._list.remove(peer)
+            del self._members[peer]
 
 
 class _ScoredNeighbours(NeighbourStrategy):
@@ -136,6 +148,12 @@ class _ScoredNeighbours(NeighbourStrategy):
     def position(self, peer: ClientId) -> Optional[int]:
         self.ordered()
         return self._cache_set.get(peer)
+
+    def evict(self, peer: ClientId) -> None:
+        if peer in self._scores:
+            del self._scores[peer]
+            self._recency.pop(peer, None)
+            self._cache = None
 
 
 class HistoryNeighbours(_ScoredNeighbours):

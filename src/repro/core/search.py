@@ -46,6 +46,16 @@ class SearchConfig:
     cannot answer; the fall-back only succeeds if some source is online.
     Availability below 1 is one-hop only (the two-hop fast path assumes
     all peers answer).
+
+    ``probe_loss_rate`` models a lossy network under the search: each
+    neighbour probe is independently lost with this probability (the
+    message is sent — it counts toward load — but never answered).
+
+    ``evict_dead`` enables dead-neighbour detection: a neighbour that
+    fails to answer ``dead_after`` consecutive probes from the same peer
+    is evicted from that peer's list, making room for live peers; any
+    answer clears the strikes.  Both fault knobs are one-hop only, like
+    ``availability``.
     """
 
     list_size: int = 20
@@ -54,6 +64,9 @@ class SearchConfig:
     track_load: bool = True
     weighted_requests: bool = False
     availability: float = 1.0
+    probe_loss_rate: float = 0.0
+    evict_dead: bool = False
+    dead_after: int = 2
     rare_cutoff: Optional[int] = None  # track a second hit-rate for
     # requests whose file has <= rare_cutoff replicas in the input trace
     track_exchanges: bool = False  # record the (uploader -> downloader)
@@ -67,9 +80,16 @@ class SearchConfig:
     def __post_init__(self) -> None:
         check_positive("list_size", self.list_size)
         check_fraction("availability", self.availability)
+        check_fraction("probe_loss_rate", self.probe_loss_rate)
+        check_positive("dead_after", self.dead_after)
         if self.availability < 1.0 and self.two_hop:
             raise ValueError(
                 "availability modelling is one-hop only; disable two_hop"
+            )
+        if (self.probe_loss_rate > 0 or self.evict_dead) and self.two_hop:
+            raise ValueError(
+                "fault modelling (probe_loss_rate/evict_dead) is one-hop "
+                "only; disable two_hop"
             )
         if self.strategy == "fixed" and self.initial_lists is None:
             raise ValueError("strategy 'fixed' requires initial_lists")
@@ -90,6 +110,9 @@ class SimulationResult:
     num_peers: int
     num_files: int
     unresolvable: int = 0
+    #: probes lost to the fault model / dead neighbours evicted
+    probes_lost: int = 0
+    evictions: int = 0
     rare_rates: Optional[HitRateAccumulator] = None
     #: (uploader, downloader) -> number of uploads, when track_exchanges
     exchanges: Optional[Dict[Tuple[ClientId, ClientId], int]] = None
@@ -124,6 +147,10 @@ class SearchSimulator:
         self._sharers_of: Dict[FileId, List[ClientId]] = {}
         self._sharer_peers: List[ClientId] = []  # peers sharing >= 1 file
         self._sharer_seen: Set[ClientId] = set()
+        # Dead-neighbour detection state (only used when evict_dead).
+        self._strikes: Dict[Tuple[ClientId, ClientId], int] = {}
+        self._probes_lost = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # State helpers
@@ -172,22 +199,49 @@ class SearchSimulator:
         file_id: FileId,
         load: Optional[LoadTracker],
         online=None,
+        lost=None,
     ) -> Tuple[Optional[ClientId], List[ClientId]]:
         """Query neighbours in order; return (answerer, queried list).
 
         ``online`` is an optional predicate; offline neighbours are
-        contacted (the message is sent) but never answer."""
+        contacted (the message is sent) but never answer.  ``lost`` is an
+        optional thunk drawn once per probe: a lost probe is sent (it
+        counts toward load) but never answered, even by an online
+        neighbour.  Unanswered probes feed dead-neighbour detection."""
         neighbours = list(self._strategy_for(peer).ordered())
         queried: List[ClientId] = []
         for neighbour in neighbours:
             queried.append(neighbour)
             if load is not None:
                 load.record(neighbour)
-            if online is not None and not online(neighbour):
+            if lost is not None and lost():
+                self._probes_lost += 1
+                self._record_probe_failure(peer, neighbour)
                 continue
+            if online is not None and not online(neighbour):
+                self._record_probe_failure(peer, neighbour)
+                continue
+            self._record_probe_answer(peer, neighbour)
             if self.shares(neighbour, file_id):
                 return neighbour, queried
         return None, queried
+
+    def _record_probe_failure(self, peer: ClientId, neighbour: ClientId) -> None:
+        if not self.config.evict_dead:
+            return
+        key = (peer, neighbour)
+        strikes = self._strikes.get(key, 0) + 1
+        if strikes >= self.config.dead_after:
+            self._strategy_for(peer).evict(neighbour)
+            self._strikes.pop(key, None)
+            self._evictions += 1
+        else:
+            self._strikes[key] = strikes
+
+    def _record_probe_answer(self, peer: ClientId, neighbour: ClientId) -> None:
+        if not self.config.evict_dead:
+            return
+        self._strikes.pop((peer, neighbour), None)
 
     def _query_two_hop(
         self,
@@ -239,7 +293,12 @@ class SearchSimulator:
         load_sink = load if config.track_load else None
         request_rng = self.rng.child("requests")
         avail_rng = self.rng.child("availability")
+        loss_rng = self.rng.child("probe-loss")
         model_churn = config.availability < 1.0
+        lost = None
+        if config.probe_loss_rate > 0:
+            def lost(_rng=loss_rng, _rate=config.probe_loss_rate):  # noqa: E731
+                return _rng.py.random() < _rate
         unresolvable = 0
         rare_rates: Optional[HitRateAccumulator] = None
         rare_files: Set[FileId] = set()
@@ -293,7 +352,7 @@ class SearchSimulator:
             if is_rare:
                 rare_rates.requests += 1
             answerer, first_hop = self._query_one_hop(
-                peer, file_id, load_sink, online=online
+                peer, file_id, load_sink, online=online, lost=lost
             )
             if answerer is not None:
                 rates.hits += 1
@@ -332,6 +391,8 @@ class SearchSimulator:
             num_peers=self.trace.num_clients,
             num_files=len(self.trace.distinct_files()),
             unresolvable=unresolvable,
+            probes_lost=self._probes_lost,
+            evictions=self._evictions,
             rare_rates=rare_rates,
             exchanges=exchanges,
         )

@@ -144,7 +144,8 @@ class Client:
                 firewalled=self.config.firewalled,
             ),
         )
-        if not reply.accepted:
+        if reply is None or not reply.accepted:
+            # None: the connect was lost in flight or the server is down.
             return False
         self.server_id = server_id
         self.known_servers.update(reply.server_list)
@@ -168,6 +169,8 @@ class Client:
         reply = network.to_server(
             self.server_id, QuerySources(client_id=self.client_id, file_id=file_id)
         )
+        if reply is None:
+            return []
         return [s for s in reply.sources if s != self.client_id]
 
     def search(self, network, query: Query, limit: int = 200) -> List[FileDescription]:
@@ -178,6 +181,8 @@ class Client:
             self.server_id,
             SearchRequest(client_id=self.client_id, query=query, limit=limit),
         )
+        if reply is None:
+            return []
         return list(reply.results)
 
     def search_all_servers(

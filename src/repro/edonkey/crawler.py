@@ -27,6 +27,7 @@ from typing import Dict, Optional, Set
 
 from repro.edonkey.messages import BrowseRequest, QueryUsers, ServerListRequest
 from repro.edonkey.network import Network
+from repro.faults import RetryPolicy
 from repro.trace.model import ClientMeta, FileMeta, Trace
 from repro.util.rng import RngStream
 from repro.util.validation import check_positive
@@ -47,6 +48,11 @@ class CrawlerConfig:
     browse_budget_start: int = 10_000
     browse_budget_end: int = 5_000
     refresh_users_every: int = 1  # days between nickname sweeps
+    #: Retry policy for unanswered browses and nickname queries on a faulty
+    #: network.  ``None`` disables retries (every failure is final, the
+    #: pre-fault-layer behaviour).  Retries consume browse budget and their
+    #: backoff is accounted in simulated seconds, never slept.
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         check_positive("days", self.days)
@@ -54,6 +60,12 @@ class CrawlerConfig:
         check_positive("browse_budget_start", self.browse_budget_start)
         check_positive("browse_budget_end", self.browse_budget_end)
         check_positive("refresh_users_every", self.refresh_users_every)
+        if self.browse_budget_end > self.browse_budget_start:
+            raise ValueError(
+                "browse_budget_end must be <= browse_budget_start "
+                f"(the daily browse budget decays over the crawl), got "
+                f"end={self.browse_budget_end} > start={self.browse_budget_start}"
+            )
 
     def budget_on(self, day_offset: int) -> int:
         if self.days <= 1:
@@ -76,6 +88,15 @@ class CrawlStats:
     browse_refused: int = 0
     browse_succeeded: int = 0
     servers_without_query_users: int = 0
+    browse_retries: int = 0
+    query_retries: int = 0
+    backoff_seconds: float = 0.0  # simulated time spent in backoff
+
+    @property
+    def browse_success_rate(self) -> float:
+        if self.browse_attempts == 0:
+            return 0.0
+        return self.browse_succeeded / self.browse_attempts
 
 
 class Crawler:
@@ -126,7 +147,7 @@ class Crawler:
         )
         for pattern in patterns:
             for server_id in sorted(self.known_servers):
-                reply = self.network.to_server(server_id, QueryUsers(pattern=pattern))
+                reply = self._query_users(server_id, pattern)
                 self.stats.nickname_queries += 1
                 if reply is None:
                     continue
@@ -147,21 +168,63 @@ class Crawler:
         )
         return new_users
 
+    def _query_users(self, server_id: int, pattern: str):
+        """One nickname query, retried (with backoff) when the reply is
+        lost on a faulty network.  Unsupported/empty replies are answers,
+        not failures — only ``None`` (drop, timeout, dead server) retries."""
+        reply = self.network.to_server(server_id, QueryUsers(pattern=pattern))
+        policy = self.config.retry
+        if policy is None:
+            return reply
+        attempt = 0
+        while reply is None and attempt < policy.max_retries:
+            attempt += 1
+            self.stats.query_retries += 1
+            self.stats.backoff_seconds += policy.delay(attempt)
+            self.network.faults.stats.retries += 1
+            reply = self.network.to_server(server_id, QueryUsers(pattern=pattern))
+        return reply
+
     # ------------------------------------------------------------------
     # Browsing
 
     def browse_all(self, trace: Trace, day: int, budget: int) -> int:
-        """Browse up to ``budget`` reachable users; record snapshots.
+        """Browse reachable users within ``budget`` attempts; record
+        snapshots.
 
         Returns the number of successful browses.  The browse order is
         shuffled so the budget cut does not systematically starve the same
-        clients.
+        clients.  Every attempt — including each retry of an unanswered
+        browse — consumes one unit of budget, so failures eat into how
+        many clients the crawler reaches that day (the paper's bandwidth
+        constraint under hostile conditions).
         """
         order = self.rng.shuffled(sorted(self.reachable_users))
+        policy = self.config.retry
         successes = 0
-        for client_id in order[:budget]:
-            self.stats.browse_attempts += 1
-            reply = self.network.to_client(client_id, BrowseRequest(requester_id=-1))
+        remaining = budget
+        for client_id in order:
+            if remaining <= 0:
+                break
+            attempt = 0
+            while True:
+                remaining -= 1
+                self.stats.browse_attempts += 1
+                reply = self.network.to_client(
+                    client_id, BrowseRequest(requester_id=-1)
+                )
+                if reply is not None:
+                    break
+                if (
+                    policy is None
+                    or attempt >= policy.max_retries
+                    or remaining <= 0
+                ):
+                    break
+                attempt += 1
+                self.stats.browse_retries += 1
+                self.stats.backoff_seconds += policy.delay(attempt)
+                self.network.faults.stats.retries += 1
             if reply is None or not reply.allowed:
                 self.stats.browse_refused += 1
                 continue
@@ -218,3 +281,21 @@ class Crawler:
             self.browse_all(trace, self.network.day, budget)
             self.network.advance_day()
         return trace
+
+    def degradation_report(
+        self, trace: Trace, baseline_snapshots: Optional[int] = None
+    ):
+        """Graceful-degradation summary of this crawl (see
+        :class:`~repro.core.metrics.DegradationReport`).
+
+        ``baseline_snapshots`` is the snapshot count of a fault-free run
+        with the same seed and config; when given, the report carries
+        the trace-completeness ratio against it."""
+        from repro.core.metrics import build_degradation_report
+
+        return build_degradation_report(
+            self.network.faults.stats,
+            self.stats,
+            trace.num_snapshots,
+            baseline_snapshots=baseline_snapshots,
+        )

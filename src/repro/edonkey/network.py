@@ -13,6 +13,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.edonkey.client import Client, ClientConfig
+from repro.faults import (
+    FATE_DROP,
+    FATE_MALFORMED,
+    FATE_OK,
+    FATE_TIMEOUT,
+    FaultConfig,
+    FaultInjector,
+)
 from repro.edonkey.messages import (
     BlockRequest,
     BrowseRequest,
@@ -57,6 +65,13 @@ class NetworkConfig:
     # (bad block checksums).  Downloaders detect the corruption via the
     # MD4 block hashes and retry other sources.
     corrupt_fraction: float = 0.0
+    # Hostile-network fault model (message loss, timeouts, malformed
+    # replies, transient peer downtime, server crashes).  All knobs off by
+    # default, in which case the injector is never consulted.
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    # Dead-neighbour detection for semantic clients: evict a semantic
+    # neighbour after this many consecutive unanswered probes (None = off).
+    semantic_dead_after: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive("num_servers", self.num_servers)
@@ -67,6 +82,8 @@ class NetworkConfig:
         )
         check_positive("semantic_list_size", self.semantic_list_size)
         check_fraction("corrupt_fraction", self.corrupt_fraction)
+        if self.semantic_dead_after is not None:
+            check_positive("semantic_dead_after", self.semantic_dead_after)
 
 
 class Network:
@@ -83,6 +100,11 @@ class Network:
         self._churn_rng = generator.rng.child("network-churn")
         self._session_rng = generator.rng.child("network-sessions")
         self.offline: Set[int] = set()
+        self.faults = FaultInjector(
+            config.faults, generator.rng.child("network-faults")
+        )
+        self.down_servers: Set[int] = set()
+        self._day_index = 0  # days elapsed since the build day
 
     # ------------------------------------------------------------------
     # Routing
@@ -96,11 +118,33 @@ class Network:
         self.clients[client.client_id] = client
 
     def to_server(self, server_id: int, message):
-        """Deliver a message to a server; returns the reply (or None)."""
+        """Deliver a message to a server; returns the reply (or None).
+
+        Crashed servers and messages the fault injector drops both yield
+        ``None`` — from the sender's side a dead server and a lost
+        message are indistinguishable, which is exactly what the retry
+        machinery has to cope with."""
         self.stats.count(message)
         server = self.servers.get(server_id)
         if server is None:
             return None
+        if server_id in self.down_servers:
+            self.faults.stats.server_down_messages += 1
+            return None
+        fate = FATE_OK
+        if self.faults.enabled:
+            fate = self.faults.message_fate(message)
+            if fate == FATE_DROP:
+                return None
+        reply = self._dispatch_server(server, message)
+        if fate == FATE_TIMEOUT:
+            # The request was processed; the reply missed the deadline.
+            return None
+        if fate == FATE_MALFORMED:
+            return self.faults.degrade_reply(reply)
+        return reply
+
+    def _dispatch_server(self, server: Server, message):
         if isinstance(message, ConnectRequest):
             return server.handle_connect(message)
         if isinstance(message, PublishFiles):
@@ -134,7 +178,7 @@ class Network:
             return None
         if client_id in self.offline:
             return None
-        return self._dispatch_client(client, message)
+        return self._deliver_to_client(client, message)
 
     def callback_to_client(self, client_id: int, message):
         """Deliver via the server-forced callback (reaches firewalled peers)."""
@@ -142,7 +186,23 @@ class Network:
         client = self.clients.get(client_id)
         if client is None or client_id in self.offline:
             return None
-        return self._dispatch_client(client, message)
+        return self._deliver_to_client(client, message)
+
+    def _deliver_to_client(self, client: Client, message):
+        """Apply the fault model to a client-bound hop, then dispatch."""
+        if not self.faults.enabled:
+            return self._dispatch_client(client, message)
+        if self.faults.peer_unreachable(client.client_id):
+            return None
+        fate = self.faults.message_fate(message)
+        if fate == FATE_DROP:
+            return None
+        reply = self._dispatch_client(client, message)
+        if fate == FATE_TIMEOUT:
+            return None
+        if fate == FATE_MALFORMED:
+            return self.faults.degrade_reply(reply)
+        return reply
 
     def _dispatch_client(self, client: Client, message):
         if isinstance(message, BrowseRequest):
@@ -160,9 +220,14 @@ class Network:
         return set(self._caches.get(client_id, set()))
 
     def advance_day(self) -> None:
-        """Advance the clock one day: apply session churn (optional), then
-        churn every online sharer's cache and republish to its server."""
+        """Advance the clock one day: apply the fault schedule (crashes,
+        recoveries, transient peer downtime), then session churn
+        (optional), then churn every online sharer's cache and republish
+        to its server."""
         self.day += 1
+        self._day_index += 1
+        if self.faults.enabled:
+            self._apply_fault_schedule()
         profiles = {p.meta.client_id: p for p in self.generator.profiles}
         if self.config.session_churn:
             self._apply_session_churn(profiles)
@@ -178,6 +243,54 @@ class Network:
             self._sync_client_cache(client, cache)
             if client.server_id is not None:
                 client.publish(self)
+
+    # ------------------------------------------------------------------
+    # Fault schedule (server crashes, transient peer downtime)
+
+    def _apply_fault_schedule(self) -> None:
+        """Run the injector's schedule for the new day.
+
+        Recoveries are processed before crashes so a ``0``-day downtime
+        cannot resurrect a server on its own crash day, and orphaned
+        clients (whose reconnect attempts all failed earlier) retry
+        daily — the graceful-degradation loop."""
+        self.faults.advance_day(self._day_index, self.clients.keys())
+        crashes, recoveries = self.faults.server_events(self._day_index)
+        for server_id in recoveries:
+            if server_id in self.down_servers:
+                self.down_servers.discard(server_id)
+                self.faults.stats.server_recoveries += 1
+        for server_id in crashes:
+            self._crash_server(server_id)
+        self._reconnect_orphans()
+
+    def _crash_server(self, server_id: int) -> None:
+        """Crash a server: its state is lost and its clients orphaned."""
+        server = self.servers.get(server_id)
+        if server is None or server_id in self.down_servers:
+            return
+        server.crash()
+        self.down_servers.add(server_id)
+        self.faults.stats.server_crashes += 1
+        for client in self.clients.values():
+            if client.server_id == server_id:
+                client.server_id = None
+
+    def _reconnect_orphans(self) -> None:
+        """Re-home online clients that lost their server to a crash."""
+        survivors = [
+            sid for sid in sorted(self.servers) if sid not in self.down_servers
+        ]
+        if not survivors:
+            return
+        for client_id in sorted(self.clients):
+            client = self.clients[client_id]
+            if client.server_id is not None or client_id in self.offline:
+                continue
+            for server_id in survivors:
+                if client.connect(self, server_id):
+                    self.faults.stats.clients_reassigned += 1
+                    break
 
     def _apply_session_churn(self, profiles) -> None:
         """Draw each client's online status for the new day.
@@ -218,6 +331,10 @@ class Network:
 
     def seed_initial_caches(self) -> None:
         """Fill every sharer's cache as of the current day and publish."""
+        if self.faults.enabled:
+            # Day 0 of the fault schedule (a crash on the build day is a
+            # legal scenario; transient downtime applies from day 0 too).
+            self._apply_fault_schedule()
         for profile in self.generator.profiles:
             client = self.clients.get(profile.meta.client_id)
             if client is None or profile.free_rider:
@@ -274,6 +391,7 @@ def build_network(
                 config=client_config,
                 strategy=config.semantic_strategy,
                 list_size=config.semantic_list_size,
+                dead_after=config.semantic_dead_after,
             )
         else:
             client = Client(

@@ -37,6 +37,8 @@ class SemanticStats:
     server_lookups: int = 0  # had to fall back to the server
     downloads_ok: int = 0
     downloads_failed: int = 0
+    probe_failures: int = 0  # neighbour probes that got no answer
+    neighbours_evicted: int = 0  # dead neighbours dropped from the list
 
     @property
     def server_avoidance(self) -> float:
@@ -50,6 +52,11 @@ class SemanticClient(Client):
 
     ``strategy`` is any non-random strategy name from
     :mod:`repro.core.neighbours` (``lru``, ``history``, ``popularity``).
+
+    ``dead_after`` enables dead-neighbour detection: a neighbour whose
+    probes go unanswered (offline, crashed, firewalled, or lost to the
+    fault layer) that many times *consecutively* is evicted from the
+    list, making room for reachable peers.  ``None`` disables it.
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class SemanticClient(Client):
         config: Optional[ClientConfig] = None,
         strategy: str = "lru",
         list_size: int = 10,
+        dead_after: Optional[int] = None,
     ) -> None:
         super().__init__(client_id, nickname, config)
         if strategy == "random":
@@ -66,18 +74,41 @@ class SemanticClient(Client):
                 "the random benchmark strategy is simulation-only; a live "
                 "client needs a learnable list (lru/history/popularity)"
             )
+        if dead_after is not None:
+            check_positive("dead_after", dead_after)
         self.neighbour_list: NeighbourStrategy = make_strategy(strategy, list_size)
         self.semantic_stats = SemanticStats()
+        self.dead_after = dead_after
+        self._probe_strikes: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
     def _probe_neighbours(self, network, file_id: str) -> Optional[int]:
-        """Ask semantic neighbours directly whether they share ``file_id``."""
-        for neighbour in self.neighbour_list.ordered():
+        """Ask semantic neighbours directly whether they share ``file_id``.
+
+        An unanswered probe counts a strike against the neighbour; any
+        answer (even "I don't have it") clears its strikes."""
+        for neighbour in list(self.neighbour_list.ordered()):
             status = network.to_client(neighbour, FileStatusRequest(file_id=file_id))
-            if status is not None and status.available:
+            if status is None:
+                self._record_probe_failure(neighbour)
+                continue
+            self._probe_strikes.pop(neighbour, None)
+            if status.available:
                 return neighbour
         return None
+
+    def _record_probe_failure(self, neighbour: int) -> None:
+        self.semantic_stats.probe_failures += 1
+        if self.dead_after is None:
+            return
+        strikes = self._probe_strikes.get(neighbour, 0) + 1
+        if strikes >= self.dead_after:
+            self.neighbour_list.evict(neighbour)
+            self._probe_strikes.pop(neighbour, None)
+            self.semantic_stats.neighbours_evicted += 1
+        else:
+            self._probe_strikes[neighbour] = strikes
 
     def locate_and_download(self, network, description: FileDescription) -> bool:
         """The semantic lookup path: neighbours first, server second.
@@ -96,6 +127,11 @@ class SemanticClient(Client):
             popularity = 1
         else:
             stats.server_lookups += 1
+            if self.server_id is None:
+                # Orphaned by a server crash with no surviving server to
+                # re-home to: the fallback path is gone this round.
+                stats.downloads_failed += 1
+                return False
             sources = self.find_sources(network, description.file_id)
             popularity = len(sources)
             if not sources:

@@ -87,6 +87,20 @@ class Server:
             self._nick_trigrams.setdefault(trigram, set()).add(msg.client_id)
         return ConnectReply(accepted=True, server_list=sorted(self.known_servers))
 
+    def crash(self) -> None:
+        """Lose all volatile state (sessions and indexes).
+
+        Models a server process dying: the server-list gossip survives
+        (it is how a restarted server rejoins), but every session, file
+        index, keyword index and nickname index is gone.  Clients must
+        re-connect and re-publish for the server to index them again.
+        """
+        self._sessions.clear()
+        self._sources.clear()
+        self._keywords.clear()
+        self._descriptions.clear()
+        self._nick_trigrams.clear()
+
     def handle_disconnect(self, client_id: int) -> None:
         session = self._sessions.pop(client_id, None)
         if session is None:

@@ -53,6 +53,7 @@ from repro.experiments.baseline_experiments import (
     run_mechanism_comparison,
 )
 from repro.experiments.cost_benefit import run_cost_benefit
+from repro.experiments.fault_experiments import run_fault_degradation
 from repro.experiments.extension_experiments import (
     run_availability_sweep,
     run_exchange_graph,
@@ -99,6 +100,7 @@ __all__ = [
     "run_cost_benefit",
     "run_exchange_graph",
     "run_extrapolation_ablation",
+    "run_fault_degradation",
     "run_gossip_overlay",
     "run_live_semantic",
     "run_loyalty_sensitivity",

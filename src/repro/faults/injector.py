@@ -1,0 +1,123 @@
+"""The fault injector the network consults on every message hop.
+
+Each fault class draws from its own :class:`~repro.util.rng.RngStream`
+child, so enabling one fault (say, message loss) never perturbs the
+draws of another (peer downtime), and a run is reproducible from
+``(seed, FaultConfig)`` alone.  Day-level state (which peers are
+transiently down) is redrawn from a per-day child stream, so two
+networks built from the same seed agree on every day's fault set even
+if they routed different message counts in between.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable, List, Set, Tuple
+
+from repro.faults.config import FaultConfig
+from repro.faults.stats import FaultStats
+from repro.util.rng import RngStream
+
+# A message's fate, decided once per hop.
+FATE_OK = "ok"
+FATE_DROP = "drop"  # request lost in flight: target never sees it
+FATE_TIMEOUT = "timeout"  # request processed, reply misses the deadline
+FATE_MALFORMED = "malformed"  # reply delivered with list payloads emptied
+
+# Reply attributes emptied by a malformed delivery, in check order.
+_PAYLOAD_ATTRS = ("files", "results", "sources", "users", "servers")
+
+
+class FaultInjector:
+    """Decides message fates and the daily fault schedule."""
+
+    def __init__(self, config: FaultConfig, rng: RngStream) -> None:
+        self.config = config
+        self.stats = FaultStats()
+        self._loss_rng = rng.child("loss")
+        self._slow_rng = rng.child("slow")
+        self._malformed_rng = rng.child("malformed")
+        self._downtime_rng = rng.child("downtime")
+        self.flaky_offline: Set[int] = set()
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ------------------------------------------------------------------
+    # Per-message decisions
+
+    def message_fate(self, _message: object) -> str:
+        """Draw the fate of one message (loss, then slowness, then
+        garbling — a message only reaches the later draws if it survived
+        the earlier ones)."""
+        config = self.config
+        self.stats.messages_total += 1
+        if config.loss_rate and self._loss_rng.py.random() < config.loss_rate:
+            self.stats.messages_dropped += 1
+            return FATE_DROP
+        if config.slow_rate and self._slow_rng.py.random() < config.slow_rate:
+            self.stats.timeouts += 1
+            return FATE_TIMEOUT
+        if (
+            config.malformed_rate
+            and self._malformed_rng.py.random() < config.malformed_rate
+        ):
+            self.stats.malformed_replies += 1
+            return FATE_MALFORMED
+        return FATE_OK
+
+    def peer_unreachable(self, client_id: int) -> bool:
+        """True when ``client_id`` is transiently down today."""
+        if client_id in self.flaky_offline:
+            self.stats.peer_unreachable += 1
+            return True
+        return False
+
+    def degrade_reply(self, reply):
+        """The malformed variant of ``reply``: list payloads emptied.
+
+        Replies with no list payload (e.g. a connect acknowledgement)
+        cannot be meaningfully truncated, so garbling them loses the
+        whole reply (``None``)."""
+        if reply is None:
+            return None
+        for attr in _PAYLOAD_ATTRS:
+            if hasattr(reply, attr):
+                degraded = copy.copy(reply)
+                setattr(degraded, attr, [])
+                return degraded
+        return None
+
+    # ------------------------------------------------------------------
+    # Day schedule
+
+    def advance_day(self, day_index: int, client_ids: Iterable[int]) -> None:
+        """Redraw the day's transiently-unreachable peer set.
+
+        The draw comes from a per-day child stream keyed by
+        ``day_index`` over the *sorted* client ids, so it is independent
+        of message traffic and iteration order."""
+        if not self.config.peer_downtime:
+            self.flaky_offline = set()
+            return
+        rng = self._downtime_rng.child(f"day[{day_index}]")
+        self.flaky_offline = {
+            client_id
+            for client_id in sorted(client_ids)
+            if rng.py.random() < self.config.peer_downtime
+        }
+
+    def server_events(self, day_index: int) -> Tuple[List[int], List[int]]:
+        """``(crashes, recoveries)`` scheduled for ``day_index``."""
+        config = self.config
+        crashes: List[int] = []
+        recoveries: List[int] = []
+        if config.server_crash_day is not None:
+            if day_index == config.server_crash_day:
+                crashes.append(config.server_crash_id)
+            elif config.server_downtime_days and day_index == (
+                config.server_crash_day + config.server_downtime_days
+            ):
+                recoveries.append(config.server_crash_id)
+        return crashes, recoveries

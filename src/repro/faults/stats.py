@@ -1,0 +1,58 @@
+"""Fault and degradation accounting.
+
+:class:`FaultStats` is owned by the injector and incremented on every
+fault decision; consumers (the crawler's retry loop, the network's
+crash handler) add their side of the story.  Being a plain dataclass it
+compares by value, which is what the determinism guarantee is asserted
+against: same seed + same config ⇒ equal ``FaultStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults and the resilience machinery's work."""
+
+    messages_total: int = 0  # messages seen by the injector
+    messages_dropped: int = 0
+    timeouts: int = 0  # replies slower than the deadline
+    malformed_replies: int = 0
+    peer_unreachable: int = 0  # sends to transiently-down peers
+    server_down_messages: int = 0  # sends to crashed servers
+    server_crashes: int = 0
+    server_recoveries: int = 0
+    clients_reassigned: int = 0  # re-connected to a surviving server
+    retries: int = 0  # retry attempts by any consumer
+    backoff_seconds: float = 0.0  # simulated time spent backing off
+
+    @property
+    def faults_injected(self) -> int:
+        return self.messages_dropped + self.timeouts + self.malformed_replies
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of injector-seen messages that were delivered intact."""
+        if self.messages_total == 0:
+            return 1.0
+        return 1.0 - self.faults_injected / self.messages_total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping for reports and experiment metrics."""
+        return {
+            "messages_total": float(self.messages_total),
+            "messages_dropped": float(self.messages_dropped),
+            "timeouts": float(self.timeouts),
+            "malformed_replies": float(self.malformed_replies),
+            "peer_unreachable": float(self.peer_unreachable),
+            "server_down_messages": float(self.server_down_messages),
+            "server_crashes": float(self.server_crashes),
+            "server_recoveries": float(self.server_recoveries),
+            "clients_reassigned": float(self.clients_reassigned),
+            "retries": float(self.retries),
+            "backoff_seconds": self.backoff_seconds,
+            "delivery_rate": self.delivery_rate,
+        }

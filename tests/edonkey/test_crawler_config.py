@@ -1,0 +1,41 @@
+"""CrawlerConfig: the browse-budget decay schedule, pinned."""
+
+import pytest
+
+from repro.edonkey.crawler import CrawlerConfig
+
+
+class TestBudgetDecay:
+    def test_linear_decay_pinned(self):
+        config = CrawlerConfig(
+            days=5, browse_budget_start=100, browse_budget_end=20
+        )
+        assert [config.budget_on(d) for d in range(5)] == [100, 80, 60, 40, 20]
+
+    def test_endpoints(self):
+        config = CrawlerConfig(
+            days=8, browse_budget_start=10_000, browse_budget_end=5_000
+        )
+        assert config.budget_on(0) == 10_000
+        assert config.budget_on(7) == 5_000
+
+    def test_single_day_crawl_uses_full_budget(self):
+        config = CrawlerConfig(
+            days=1, browse_budget_start=123, browse_budget_end=7
+        )
+        assert config.budget_on(0) == 123
+
+    def test_flat_budget(self):
+        config = CrawlerConfig(
+            days=4, browse_budget_start=50, browse_budget_end=50
+        )
+        assert [config.budget_on(d) for d in range(4)] == [50] * 4
+
+
+class TestValidation:
+    def test_growing_budget_rejected(self):
+        with pytest.raises(ValueError, match="browse_budget_end"):
+            CrawlerConfig(browse_budget_start=100, browse_budget_end=200)
+
+    def test_equal_budgets_allowed(self):
+        CrawlerConfig(browse_budget_start=100, browse_budget_end=100)

@@ -10,7 +10,7 @@ from repro.edonkey.network import NetworkConfig, build_network
 from repro.workload.config import WorkloadConfig
 
 
-def churn_network(seed=11, clients=80, days=8):
+def churn_network(seed=11, clients=80, days=8, faults=None):
     workload = dataclasses.replace(
         WorkloadConfig().small(),
         num_clients=clients,
@@ -20,8 +20,14 @@ def churn_network(seed=11, clients=80, days=8):
         online_alpha=2.0,
         online_beta=2.0,  # mean availability 0.5: heavy churn
     )
+    kwargs = {} if faults is None else {"faults": faults}
     return build_network(
-        NetworkConfig(workload=workload, session_churn=True, firewalled_fraction=0.0),
+        NetworkConfig(
+            workload=workload,
+            session_churn=True,
+            firewalled_fraction=0.0,
+            **kwargs,
+        ),
         seed=seed,
     )
 
@@ -110,6 +116,58 @@ class TestReconnection:
             if back:
                 return
         pytest.skip("no sharer happened to return this seed")
+
+
+class TestDeterminism:
+    def test_same_seed_same_offline_sets(self):
+        """Two fresh networks built from the same seed agree on exactly
+        which clients are offline, every single day."""
+        first = churn_network(seed=21)
+        second = churn_network(seed=21)
+        for _ in range(6):
+            first.advance_day()
+            second.advance_day()
+            assert first.offline == second.offline
+        assert first.offline  # heavy churn: never trivially empty
+
+    def test_different_seeds_diverge(self):
+        first = churn_network(seed=21)
+        second = churn_network(seed=22)
+        histories = [set(), set()]
+        for _ in range(6):
+            first.advance_day()
+            second.advance_day()
+            histories[0] |= first.offline
+            histories[1] |= second.offline
+        assert histories[0] != histories[1]
+
+    def test_fault_downtime_deterministic_alongside_churn(self):
+        """The fault layer's transient-downtime stream is independent of
+        the session-churn stream: same seed reproduces both sets."""
+        from repro.faults import FaultConfig
+
+        faults = FaultConfig(peer_downtime=0.2)
+        first = churn_network(seed=23, faults=faults)
+        second = churn_network(seed=23, faults=faults)
+        for _ in range(4):
+            first.advance_day()
+            second.advance_day()
+            assert first.offline == second.offline
+            assert first.faults.flaky_offline == second.faults.flaky_offline
+
+    def test_fault_downtime_leaves_session_churn_unchanged(self):
+        """Turning transient peer downtime on must not perturb which
+        clients session churn takes offline — the streams are separate."""
+        from repro.faults import FaultConfig
+
+        plain = churn_network(seed=24)
+        faulted = churn_network(
+            seed=24, faults=FaultConfig(peer_downtime=0.2)
+        )
+        for _ in range(4):
+            plain.advance_day()
+            faulted.advance_day()
+            assert plain.offline == faulted.offline
 
 
 class TestCrawlWithChurn:

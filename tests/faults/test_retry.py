@@ -1,0 +1,38 @@
+"""RetryPolicy backoff schedule."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestSchedule:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(max_retries=4, base_delay=1.0, multiplier=2.0)
+        assert policy.delays() == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay=1.0, multiplier=3.0, max_delay=10.0
+        )
+        assert policy.delays() == [1.0, 3.0, 9.0, 10.0, 10.0, 10.0]
+
+    def test_constant_backoff_with_unit_multiplier(self):
+        policy = RetryPolicy(max_retries=3, base_delay=2.0, multiplier=1.0)
+        assert policy.delays() == [2.0, 2.0, 2.0]
+
+    def test_zero_retries_allowed(self):
+        assert RetryPolicy(max_retries=0).delays() == []
+
+
+class TestValidation:
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_shrinking_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import argparse
+
 import pytest
 
-from repro.cli import EXPERIMENT_IDS, build_parser, main
+from repro.cli import EXPERIMENT_IDS, _scale, build_parser, main
+from repro.experiments.configs import Scale
 
 
 class TestParser:
@@ -19,6 +22,32 @@ class TestParser:
         assert args.strategy == "lru"
         assert args.list_sizes == [5, 10, 20]
         assert not args.two_hop
+        assert args.loss_rate == 0.0
+        assert args.availability == 1.0
+
+    def test_crawl_fault_defaults_are_off(self):
+        args = build_parser().parse_args(["crawl"])
+        assert args.loss_rate == 0.0
+        assert args.peer_downtime == 0.0
+        assert args.server_crash_day is None
+        assert args.retries == 0
+
+
+class TestScaleArg:
+    def test_known_scales(self):
+        assert _scale("small") is Scale.SMALL
+        assert _scale("default") is Scale.DEFAULT
+        assert _scale("large") is Scale.LARGE
+
+    def test_unknown_scale_is_an_argparse_error(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="unknown scale"):
+            _scale("medium")
+
+    def test_unknown_scale_rejected_at_the_command_line(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", "--scale", "medium"])
+        assert excinfo.value.code == 2
+        assert "medium" in capsys.readouterr().err
 
 
 class TestGenerateAndStats:
@@ -119,7 +148,34 @@ class TestCrawlCommand:
         )
         assert rc == 0
         assert out.exists()
-        assert "snapshots" in capsys.readouterr().out
+        captured = capsys.readouterr().out
+        assert "snapshots" in captured
+        # Faults off: no degradation accounting clutters the output.
+        assert "degradation report" not in captured
+
+    def test_crawl_under_faults_reports_degradation(self, capsys):
+        rc = main(
+            ["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+             "--loss-rate", "0.05", "--server-crash-day", "1",
+             "--retries", "2"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "degradation report" in captured
+        assert "delivery rate" in captured
+        assert "server crashes: 1" in captured
+
+
+class TestSearchFaultFlags:
+    def test_loss_rate_adds_fault_columns(self, capsys):
+        rc = main(
+            ["search", "--scale", "small", "--seed", "3",
+             "--list-sizes", "5", "--loss-rate", "0.2", "--evict-dead"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "probes lost" in captured
+        assert "evictions" in captured
 
 
 class TestCalibrateCommand:
