@@ -1,0 +1,141 @@
+"""The observability baseline: profile a standard crawl + search workload.
+
+This benchmark establishes the perf trajectory every future PR aims at:
+it runs the protocol-level crawler and the trace-driven semantic search
+under an enabled :class:`~repro.obs.Observer` and writes the resulting
+``repro.metrics/1`` JSON to ``benchmarks/results/bench-profile.json``.
+Comparing that file across commits shows where crawl/search time goes
+(span totals) and whether a change moved work between phases (counters).
+
+Runs two ways:
+
+- under pytest-benchmark with the rest of the suite
+  (``pytest benchmarks/bench_profile.py``);
+- as a script for CI smoke runs and ad-hoc profiling::
+
+      PYTHONPATH=src python benchmarks/bench_profile.py \
+          --clients 60 --days 3 --out metrics.json
+
+Timings are machine-specific; the committed baseline is a *shape*
+reference (which spans dominate, what the counters are at this workload),
+not a number to equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.core.search import SearchConfig, simulate_search
+from repro.edonkey.crawler import Crawler, CrawlerConfig
+from repro.edonkey.network import NetworkConfig, build_network
+from repro.experiments.configs import (
+    DEFAULT_SEED,
+    Scale,
+    get_static_trace,
+    workload_config,
+)
+from repro.obs import Observer, RunMetrics, validate_metrics
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "bench-profile.json"
+)
+
+LIST_SIZES = (5, 10, 20)
+
+
+def profile_workload(
+    clients: int = 150,
+    days: int = 5,
+    seed: int = DEFAULT_SEED,
+    list_sizes=LIST_SIZES,
+) -> RunMetrics:
+    """Run the standard crawl + search workload under one observer."""
+    obs = Observer()
+    workload = dataclasses.replace(
+        workload_config(Scale.SMALL),
+        num_clients=clients,
+        num_files=max(clients * 15, 500),
+        days=days,
+        mainstream_pool_size=min(clients, max(clients * 15, 500)),
+    )
+    network = build_network(
+        NetworkConfig(workload=workload), seed=seed, obs=obs
+    )
+    crawler = Crawler(network, CrawlerConfig(days=days), seed=seed)
+    trace = crawler.crawl()
+    obs.gauge("workload/snapshots", trace.num_snapshots)
+
+    static = get_static_trace(Scale.SMALL, seed)
+    for list_size in list_sizes:
+        with obs.span(f"search@{list_size}"):
+            simulate_search(
+                static,
+                SearchConfig(
+                    list_size=list_size,
+                    strategy="lru",
+                    track_load=False,
+                    seed=seed,
+                ),
+                obs=obs,
+            )
+    return obs.report(
+        run={
+            "benchmark": "bench-profile",
+            "clients": clients,
+            "days": days,
+            "seed": seed,
+        }
+    )
+
+
+def write_baseline(metrics: RunMetrics, path: str = RESULTS_PATH) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    metrics.write(path)
+
+
+def test_profile_baseline(benchmark):
+    from benchmarks.conftest import run_once
+
+    metrics = run_once(benchmark, profile_workload)
+    problems = validate_metrics(metrics.to_dict())
+    assert problems == [], problems
+    # All three instrumented layers must appear in the span tree.
+    paths = set(metrics.spans)
+    assert any(p.startswith("crawl") for p in paths)
+    assert any("advance_day" in p for p in paths)
+    assert any("search/" in p or p.startswith("search@") for p in paths)
+    # The profile must carry the crawl-phase breakdown a perf PR aims at.
+    assert "crawl/day/sweep_nicknames" in paths
+    assert "crawl/day/browse" in paths
+    assert metrics.counters["search/requests"] > 0
+    write_baseline(metrics)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=150)
+    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", default=RESULTS_PATH, help="metrics JSON output path"
+    )
+    args = parser.parse_args(argv)
+    metrics = profile_workload(
+        clients=args.clients, days=args.days, seed=args.seed
+    )
+    problems = validate_metrics(metrics.to_dict())
+    if problems:
+        raise SystemExit("invalid metrics: " + "; ".join(problems))
+    write_baseline(metrics, args.out)
+    from repro.obs import render_profile
+
+    print(render_profile(metrics))
+    print(f"\nWrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,50 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 # ----------------------------------------------------------------------
+# observability plumbing
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a timing-span / counter profile after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics JSON (repro.metrics/1) to PATH",
+    )
+
+
+def _observer(args: argparse.Namespace):
+    """An enabled Observer when any obs flag is set, else the shared no-op.
+
+    Instrumentation is RNG-neutral, so either way the simulated outputs
+    are identical; the disabled path just skips all recording.
+    """
+    from repro.obs import NULL_OBSERVER, Observer
+
+    if args.profile or args.metrics_out:
+        return Observer()
+    return NULL_OBSERVER
+
+
+def _emit_observability(args: argparse.Namespace, obs, run_info: dict) -> None:
+    if not obs.enabled:
+        return
+    from repro.obs import render_profile
+
+    metrics = obs.report(run=run_info)
+    if args.profile:
+        print()
+        print(render_profile(metrics))
+    if args.metrics_out:
+        metrics.write(args.metrics_out)
+        print(f"Wrote metrics to {args.metrics_out}")
+
+
+# ----------------------------------------------------------------------
 # generate
 
 
@@ -166,22 +210,25 @@ def cmd_search(args: argparse.Namespace) -> int:
         ]
         static = static.without_clients(aliases)
 
+    obs = _observer(args)
     rows = []
     faulty = args.loss_rate > 0 or args.availability < 1 or args.evict_dead
     for list_size in args.list_sizes:
-        result = simulate_search(
-            static,
-            SearchConfig(
-                list_size=list_size,
-                strategy=args.strategy,
-                two_hop=args.two_hop,
-                track_load=False,
-                availability=args.availability,
-                probe_loss_rate=args.loss_rate,
-                evict_dead=args.evict_dead,
-                seed=args.seed,
-            ),
-        )
+        with obs.span(f"search@{list_size}"):
+            result = simulate_search(
+                static,
+                SearchConfig(
+                    list_size=list_size,
+                    strategy=args.strategy,
+                    two_hop=args.two_hop,
+                    track_load=False,
+                    availability=args.availability,
+                    probe_loss_rate=args.loss_rate,
+                    evict_dead=args.evict_dead,
+                    seed=args.seed,
+                ),
+                obs=obs,
+            )
         row = (list_size, result.rates.requests, percent(result.hit_rate))
         if faulty:
             row += (result.probes_lost, result.evictions)
@@ -196,6 +243,17 @@ def cmd_search(args: argparse.Namespace) -> int:
             rows,
             title=f"{args.strategy.upper()} semantic search ({hop})",
         )
+    )
+    _emit_observability(
+        args,
+        obs,
+        {
+            "command": "search",
+            "seed": args.seed,
+            "scale": args.scale,
+            "strategy": args.strategy,
+            "two_hop": args.two_hop,
+        },
     )
     return 0
 
@@ -249,6 +307,8 @@ EXPERIMENT_IDS = {
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     import repro.experiments as experiments
 
     runner_name = EXPERIMENT_IDS.get(args.id)
@@ -257,8 +317,20 @@ def cmd_experiment(args: argparse.Namespace) -> int:
               + ", ".join(sorted(EXPERIMENT_IDS)), file=sys.stderr)
         return 2
     runner = getattr(experiments, runner_name)
-    result = runner(scale=_scale(args.scale))
+    obs = _observer(args)
+    # Runners opt into fine-grained instrumentation by taking an ``obs``
+    # kwarg; every runner still gets a top-level span either way.
+    kwargs = {}
+    if obs.enabled and "obs" in inspect.signature(runner).parameters:
+        kwargs["obs"] = obs
+    with obs.span(f"experiment/{args.id}"):
+        result = runner(scale=_scale(args.scale), **kwargs)
     print(result.render())
+    _emit_observability(
+        args,
+        obs,
+        {"command": "experiment", "id": args.id, "scale": args.scale},
+    )
     return 0
 
 
@@ -316,8 +388,9 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         server_crash_id=args.server_crash_id,
         server_downtime_days=args.server_downtime,
     )
+    obs = _observer(args)
     network = build_network(
-        NetworkConfig(workload=workload, faults=faults), seed=args.seed
+        NetworkConfig(workload=workload, faults=faults), seed=args.seed, obs=obs
     )
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     crawler = Crawler(
@@ -336,6 +409,16 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     if args.output:
         save_trace(trace, args.output)
         print(f"Wrote trace to {args.output}")
+    _emit_observability(
+        args,
+        obs,
+        {
+            "command": "crawl",
+            "seed": args.seed,
+            "clients": args.clients,
+            "days": args.days,
+        },
+    )
     return 0
 
 
@@ -380,11 +463,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probability a neighbour probe is lost (one-hop only)")
     p.add_argument("--evict-dead", action="store_true",
                    help="evict neighbours whose probes keep failing")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_search)
 
     p = subparsers.add_parser("experiment", help="reproduce a paper artefact")
     _add_common(p)
     p.add_argument("id", help="artefact id, e.g. fig18, table3, flooding")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_experiment)
 
     p = subparsers.add_parser(
@@ -417,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crawler retries per failed request (0 disables)")
     p.add_argument("--timeout", type=float, default=5.0,
                    help="reply deadline in seconds (slow replies miss it)")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_crawl)
 
     return parser

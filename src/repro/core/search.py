@@ -31,6 +31,7 @@ from repro.core.neighbours import (
     make_strategy,
 )
 from repro.core.requests import generate_requests
+from repro.obs import NULL_OBSERVER, Observer
 from repro.trace.model import ClientId, FileId, StaticTrace
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
@@ -93,6 +94,33 @@ class SearchConfig:
             )
         if self.strategy == "fixed" and self.initial_lists is None:
             raise ValueError("strategy 'fixed' requires initial_lists")
+        if self.initial_lists is not None:
+            self._validate_initial_lists()
+
+    def _validate_initial_lists(self) -> None:
+        """Structural checks on the warm-start lists.
+
+        Lists longer than ``list_size`` would be silently truncated by the
+        strategies, and duplicate or self-referencing entries are dead
+        weight that a real client could never hold; reject all three
+        loudly.  Membership in the trace is checked by the simulator (the
+        config alone cannot know the peer population).
+        """
+        for peer, neighbours in self.initial_lists.items():
+            if len(neighbours) > self.list_size:
+                raise ValueError(
+                    f"initial_lists[{peer!r}] has {len(neighbours)} entries, "
+                    f"exceeding list_size={self.list_size}"
+                )
+            if len(set(neighbours)) != len(neighbours):
+                raise ValueError(
+                    f"initial_lists[{peer!r}] contains duplicate neighbours"
+                )
+            if peer in neighbours:
+                raise ValueError(
+                    f"initial_lists[{peer!r}] lists the peer as its own "
+                    "neighbour"
+                )
 
 
 @dataclass
@@ -138,9 +166,17 @@ class SimulationResult:
 class SearchSimulator:
     """Runs the Section 5 methodology over a static trace."""
 
-    def __init__(self, trace: StaticTrace, config: Optional[SearchConfig] = None) -> None:
+    def __init__(
+        self,
+        trace: StaticTrace,
+        config: Optional[SearchConfig] = None,
+        obs: Optional[Observer] = None,
+    ) -> None:
         self.trace = trace
         self.config = config or SearchConfig()
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        if self.config.initial_lists is not None:
+            self._check_lists_against_trace()
         self.rng = RngStream(self.config.seed, "search")
         self._strategies: Dict[ClientId, NeighbourStrategy] = {}
         self._shared: Dict[ClientId, Set[FileId]] = {}
@@ -151,6 +187,26 @@ class SearchSimulator:
         self._strikes: Dict[Tuple[ClientId, ClientId], int] = {}
         self._probes_lost = 0
         self._evictions = 0
+
+    def _check_lists_against_trace(self) -> None:
+        """Reject warm-start lists referencing peers absent from the trace.
+
+        A dead entry can never answer a probe, so carrying it silently
+        into the simulation deflates hit rates for no modelled reason —
+        exactly the kind of quiet input error that should fail fast.
+        """
+        known = self.trace.caches.keys()
+        for peer, neighbours in self.config.initial_lists.items():
+            if peer not in known:
+                raise ValueError(
+                    f"initial_lists peer {peer!r} is not in the trace"
+                )
+            missing = [n for n in neighbours if n not in known]
+            if missing:
+                raise ValueError(
+                    f"initial_lists[{peer!r}] references peers absent from "
+                    f"the trace: {missing[:5]}"
+                )
 
     # ------------------------------------------------------------------
     # State helpers
@@ -288,6 +344,12 @@ class SearchSimulator:
 
     def run(self) -> SimulationResult:
         config = self.config
+        obs = self.obs
+        # Local flag + clock keep the disabled path to one branch per
+        # request section; timing uses explicit clock reads because a
+        # context manager per request would dominate the hot loop.
+        profiled = obs.enabled
+        clock = obs.clock
         rates = HitRateAccumulator()
         load = LoadTracker()
         load_sink = load if config.track_load else None
@@ -312,6 +374,7 @@ class SearchSimulator:
             {} if config.track_exchanges else None
         )
 
+        run_start = clock() if profiled else 0.0
         for request in generate_requests(
             self.trace, request_rng, weighted_by_cache=config.weighted_requests
         ):
@@ -351,9 +414,12 @@ class SearchSimulator:
             is_rare = rare_rates is not None and file_id in rare_files
             if is_rare:
                 rare_rates.requests += 1
+            started = clock() if profiled else 0.0
             answerer, first_hop = self._query_one_hop(
                 peer, file_id, load_sink, online=online, lost=lost
             )
+            if profiled:
+                obs.record_span("search/one_hop", clock() - started)
             if answerer is not None:
                 rates.hits += 1
                 rates.one_hop_hits += 1
@@ -361,7 +427,10 @@ class SearchSimulator:
                     rare_rates.hits += 1
                     rare_rates.one_hop_hits += 1
             elif config.two_hop:
+                started = clock() if profiled else 0.0
                 answerer = self._query_two_hop(peer, file_id, first_hop, load_sink)
+                if profiled:
+                    obs.record_span("search/two_hop", clock() - started)
                 if answerer is not None:
                     rates.hits += 1
                     rates.two_hop_hits += 1
@@ -372,9 +441,12 @@ class SearchSimulator:
             if answerer is None:
                 # Fall-back search (server or flooding) picks a source
                 # uniformly among currently online sharers.
+                started = clock() if profiled else 0.0
                 answerer = online_sharers[
                     self.rng.py.randrange(len(online_sharers))
                 ]
+                if profiled:
+                    obs.record_span("search/fallback", clock() - started)
 
             self._strategy_for(peer).record_upload(
                 answerer, popularity=len(sharers)
@@ -383,6 +455,24 @@ class SearchSimulator:
                 edge = (answerer, peer)
                 exchanges[edge] = exchanges.get(edge, 0) + 1
             self._add_to_cache(peer, file_id)
+
+        if profiled:
+            obs.record_span("search/request_loop", clock() - run_start)
+            obs.merge_counters(
+                {
+                    "requests": rates.requests,
+                    "hits": rates.hits,
+                    "one_hop_hits": rates.one_hop_hits,
+                    "two_hop_hits": rates.two_hop_hits,
+                    "fallbacks": rates.misses,
+                    "contributions": rates.contributions,
+                    "unresolvable": unresolvable,
+                    "probes_lost": self._probes_lost,
+                    "evictions": self._evictions,
+                },
+                prefix="search/",
+            )
+            obs.gauge("search/hit_rate", rates.hit_rate)
 
         return SimulationResult(
             config=config,
@@ -405,10 +495,12 @@ def _fast_path_budget(list_size: int) -> int:
 
 
 def simulate_search(
-    trace: StaticTrace, config: Optional[SearchConfig] = None
+    trace: StaticTrace,
+    config: Optional[SearchConfig] = None,
+    obs: Optional[Observer] = None,
 ) -> SimulationResult:
     """One-call helper: build a simulator and run it."""
-    return SearchSimulator(trace, config).run()
+    return SearchSimulator(trace, config, obs=obs).run()
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set
 from repro.edonkey.messages import BrowseRequest, QueryUsers, ServerListRequest
 from repro.edonkey.network import Network
 from repro.faults import RetryPolicy
+from repro.obs import Observer
 from repro.trace.model import ClientMeta, FileMeta, Trace
 from repro.util.rng import RngStream
 from repro.util.validation import check_positive
@@ -98,6 +99,23 @@ class CrawlStats:
             return 0.0
         return self.browse_succeeded / self.browse_attempts
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping for the observability counters."""
+        return {
+            "nickname_queries": float(self.nickname_queries),
+            "users_discovered": float(self.users_discovered),
+            "firewalled_skipped": float(self.firewalled_skipped),
+            "browse_attempts": float(self.browse_attempts),
+            "browse_refused": float(self.browse_refused),
+            "browse_succeeded": float(self.browse_succeeded),
+            "servers_without_query_users": float(
+                self.servers_without_query_users
+            ),
+            "browse_retries": float(self.browse_retries),
+            "query_retries": float(self.query_retries),
+            "backoff_seconds": self.backoff_seconds,
+        }
+
 
 class Crawler:
     """Crawls a :class:`~repro.edonkey.network.Network` into a Trace."""
@@ -107,13 +125,21 @@ class Crawler:
         network: Network,
         config: Optional[CrawlerConfig] = None,
         seed: int = 0,
+        obs: Optional[Observer] = None,
     ) -> None:
         self.network = network
         self.config = config or CrawlerConfig()
         self.rng = RngStream(seed, "crawler")
         self.stats = CrawlStats()
+        self.obs = obs if obs is not None else network.obs
         self.known_servers: Set[int] = set(network.servers)
         self.reachable_users: Dict[int, str] = {}  # client_id -> nickname
+        # client_id -> generator profile, built once: resolving metadata
+        # per newly-seen client by scanning the profile list is O(N) per
+        # lookup and made large crawls quadratic.
+        self._profiles_by_id = {
+            p.meta.client_id: p for p in network.generator.profiles
+        }
 
     # ------------------------------------------------------------------
     # Discovery
@@ -250,11 +276,7 @@ class Crawler:
         # The real crawler records the IP it connected to and resolves the
         # country / AS with a GeoIP database; here the generator's profile
         # plays the role of that database.
-        profile = next(
-            p
-            for p in self.network.generator.profiles
-            if p.meta.client_id == client_id
-        )
+        profile = self._profiles_by_id[client_id]
         trace.add_client(
             ClientMeta(
                 client_id=client_id,
@@ -270,16 +292,33 @@ class Crawler:
     # Full crawl
 
     def crawl(self, days: Optional[int] = None) -> Trace:
-        """Run a multi-day crawl and return the collected trace."""
+        """Run a multi-day crawl and return the collected trace.
+
+        With observability enabled the per-day phases are timed under the
+        ``crawl/day/...`` span hierarchy and the final
+        :class:`CrawlStats` are exported as ``crawler/*`` counters.
+        """
         days = days if days is not None else self.config.days
         trace = Trace()
-        self.refresh_server_list()
-        for day_offset in range(days):
-            if day_offset % self.config.refresh_users_every == 0:
-                self.sweep_nicknames()
-            budget = self.config.budget_on(day_offset)
-            self.browse_all(trace, self.network.day, budget)
-            self.network.advance_day()
+        obs = self.obs
+        with obs.span("crawl"):
+            with obs.span("refresh_servers"):
+                self.refresh_server_list()
+            for day_offset in range(days):
+                with obs.span("day"):
+                    if day_offset % self.config.refresh_users_every == 0:
+                        with obs.span("sweep_nicknames"):
+                            self.sweep_nicknames()
+                    budget = self.config.budget_on(day_offset)
+                    with obs.span("browse"):
+                        self.browse_all(trace, self.network.day, budget)
+                    self.network.advance_day()
+        if obs.enabled:
+            obs.merge_counters(self.stats.as_dict(), prefix="crawler/")
+            obs.gauge(
+                "crawler/browse_success_rate", self.stats.browse_success_rate
+            )
+            self.network.export_metrics()
         return trace
 
     def degradation_report(

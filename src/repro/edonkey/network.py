@@ -37,6 +37,7 @@ from repro.edonkey.messages import (
     UdpSearchRequest,
 )
 from repro.edonkey.server import Server, ServerConfig
+from repro.obs import NULL_OBSERVER, Observer
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
 from repro.workload.config import WorkloadConfig
@@ -89,9 +90,15 @@ class NetworkConfig:
 class Network:
     """Routes messages, tracks traffic, and advances simulated days."""
 
-    def __init__(self, generator: SyntheticWorkloadGenerator, config: NetworkConfig) -> None:
+    def __init__(
+        self,
+        generator: SyntheticWorkloadGenerator,
+        config: NetworkConfig,
+        obs: Optional[Observer] = None,
+    ) -> None:
         self.config = config
         self.generator = generator
+        self.obs = obs if obs is not None else NULL_OBSERVER
         self.servers: Dict[int, Server] = {}
         self.clients: Dict[int, Client] = {}
         self.stats = MessageStats()
@@ -125,6 +132,8 @@ class Network:
         message are indistinguishable, which is exactly what the retry
         machinery has to cope with."""
         self.stats.count(message)
+        if self.obs.enabled:
+            self.obs.count("network/server_hops")
         server = self.servers.get(server_id)
         if server is None:
             return None
@@ -173,6 +182,8 @@ class Network:
         is modelled in :meth:`callback_to_client`.
         """
         self.stats.count(message)
+        if self.obs.enabled:
+            self.obs.count("network/client_hops")
         client = self.clients.get(client_id)
         if client is None or client.config.firewalled:
             return None
@@ -183,6 +194,8 @@ class Network:
     def callback_to_client(self, client_id: int, message):
         """Deliver via the server-forced callback (reaches firewalled peers)."""
         self.stats.count(message)
+        if self.obs.enabled:
+            self.obs.count("network/callback_hops")
         client = self.clients.get(client_id)
         if client is None or client_id in self.offline:
             return None
@@ -224,25 +237,44 @@ class Network:
         recoveries, transient peer downtime), then session churn
         (optional), then churn every online sharer's cache and republish
         to its server."""
-        self.day += 1
-        self._day_index += 1
-        if self.faults.enabled:
-            self._apply_fault_schedule()
-        profiles = {p.meta.client_id: p for p in self.generator.profiles}
-        if self.config.session_churn:
-            self._apply_session_churn(profiles)
-        for client_id, client in self.clients.items():
-            profile = profiles.get(client_id)
-            if profile is None or profile.free_rider:
-                continue
-            if client_id in self.offline:
-                continue
-            cache = self._caches.setdefault(client_id, set())
-            rng = self._churn_rng.child(f"day[{self.day}]/c[{client_id}]")
-            self.generator.churn_cache(profile, cache, self.day, rng)
-            self._sync_client_cache(client, cache)
-            if client.server_id is not None:
-                client.publish(self)
+        with self.obs.span("network/advance_day"):
+            self.day += 1
+            self._day_index += 1
+            if self.faults.enabled:
+                self._apply_fault_schedule()
+            profiles = {p.meta.client_id: p for p in self.generator.profiles}
+            if self.config.session_churn:
+                self._apply_session_churn(profiles)
+            for client_id, client in self.clients.items():
+                profile = profiles.get(client_id)
+                if profile is None or profile.free_rider:
+                    continue
+                if client_id in self.offline:
+                    continue
+                cache = self._caches.setdefault(client_id, set())
+                rng = self._churn_rng.child(f"day[{self.day}]/c[{client_id}]")
+                self.generator.churn_cache(profile, cache, self.day, rng)
+                self._sync_client_cache(client, cache)
+                if client.server_id is not None:
+                    client.publish(self)
+
+    def export_metrics(self) -> None:
+        """Fold the network's existing accounting into the observer.
+
+        Message traffic (:class:`~repro.edonkey.messages.MessageStats`)
+        and fault outcomes (:class:`~repro.faults.stats.FaultStats`) are
+        already counted by their owners; this surfaces both through the
+        observability layer under stable prefixes instead of keeping a
+        second set of live counters.
+        """
+        if not self.obs.enabled:
+            return
+        self.obs.merge_counters(self.stats.sent, prefix="network/messages/")
+        fault_counters = self.faults.stats.as_dict()
+        self.obs.gauge(
+            "faults/delivery_rate", fault_counters.pop("delivery_rate")
+        )
+        self.obs.merge_counters(fault_counters, prefix="faults/")
 
     # ------------------------------------------------------------------
     # Fault schedule (server crashes, transient peer downtime)
@@ -357,14 +389,16 @@ def _to_description(meta) -> FileDescription:
 
 
 def build_network(
-    config: Optional[NetworkConfig] = None, seed: int = 0
+    config: Optional[NetworkConfig] = None,
+    seed: int = 0,
+    obs: Optional[Observer] = None,
 ) -> Network:
     """Construct a fully connected network: servers, clients (with caches
     published) and server-list gossip, ready for a crawler run."""
     config = config or NetworkConfig()
     generator = SyntheticWorkloadGenerator(config=config.workload, seed=seed)
     generator.build()
-    network = Network(generator, config)
+    network = Network(generator, config, obs=obs)
     rng = RngStream(seed, "network")
 
     for i in range(config.num_servers):

@@ -34,6 +34,7 @@ from repro.experiments.configs import (
 )
 from repro.experiments.result import ExperimentResult
 from repro.faults import FaultConfig, RetryPolicy
+from repro.obs import NULL_OBSERVER, Observer
 from repro.util.cdf import Series
 
 DEFAULT_LOSS_RATES = (0.0, 0.01, 0.05, 0.20)
@@ -46,6 +47,7 @@ def _crawl_once(
     days: int,
     faults: FaultConfig,
     retry: Optional[RetryPolicy],
+    obs: Optional[Observer] = None,
 ):
     """One crawl run; returns ``(crawler, trace)``."""
     workload = dataclasses.replace(
@@ -56,7 +58,7 @@ def _crawl_once(
         mainstream_pool_size=min(num_clients, max(num_clients * 15, 500)),
     )
     network = build_network(
-        NetworkConfig(workload=workload, faults=faults), seed=seed
+        NetworkConfig(workload=workload, faults=faults), seed=seed, obs=obs
     )
     crawler = Crawler(
         network,
@@ -80,6 +82,7 @@ def run_fault_degradation(
     num_clients: int = 60,
     days: int = 4,
     list_size: int = 10,
+    obs: Observer = NULL_OBSERVER,
 ) -> ExperimentResult:
     """Degradation sweep: fault intensity vs trace/search fidelity.
 
@@ -105,9 +108,10 @@ def run_fault_degradation(
             server_crash_day=days // 2 if faulted else None,
         )
         retry = RetryPolicy(max_retries=2) if faulted else None
-        crawler, trace = _crawl_once(
-            scale, seed, num_clients, days, faults, retry
-        )
+        with obs.span(f"experiment/crawl@{rate:g}"):
+            crawler, trace = _crawl_once(
+                scale, seed, num_clients, days, faults, retry, obs=obs
+            )
         if baseline_snapshots is None:
             baseline_snapshots = trace.num_snapshots
         report = crawler.degradation_report(
@@ -120,16 +124,18 @@ def run_fault_degradation(
     # --- search side ------------------------------------------------
     static = get_static_trace(scale, seed)
     for rate in loss_rates:
-        result = simulate_search(
-            static,
-            SearchConfig(
-                list_size=list_size,
-                strategy="lru",
-                probe_loss_rate=rate,
-                evict_dead=rate > 0,
-                seed=seed,
-            ),
-        )
+        with obs.span(f"experiment/search@{rate:g}"):
+            result = simulate_search(
+                static,
+                SearchConfig(
+                    list_size=list_size,
+                    strategy="lru",
+                    probe_loss_rate=rate,
+                    evict_dead=rate > 0,
+                    seed=seed,
+                ),
+                obs=obs,
+            )
         hit_rate.append(100 * rate, 100.0 * result.hit_rate)
         metrics[f"hit_rate@{rate:g}"] = result.hit_rate
 

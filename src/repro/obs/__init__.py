@@ -1,0 +1,30 @@
+"""Lightweight observability: timing spans, counters, run metrics.
+
+The subsystem has two halves:
+
+- :mod:`repro.obs.spans` — the :class:`Observer`, a hierarchical
+  span/counter recorder that hot layers (crawler, network, search) carry.
+  Disabled (the default) it is a near-free no-op and touches no RNG, so
+  seeded runs are byte-identical with observability on or off.
+- :mod:`repro.obs.report` — :class:`RunMetrics`, the JSON-serialisable
+  report an :class:`Observer` produces, plus its schema validator and the
+  human-readable profile renderer behind the CLI's ``--profile`` flag.
+"""
+
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    RunMetrics,
+    render_profile,
+    validate_metrics,
+)
+from repro.obs.spans import NULL_OBSERVER, Observer, SpanStat
+
+__all__ = [
+    "NULL_OBSERVER",
+    "Observer",
+    "RunMetrics",
+    "SCHEMA_VERSION",
+    "SpanStat",
+    "render_profile",
+    "validate_metrics",
+]

@@ -1,0 +1,182 @@
+"""The machine-readable run report and its schema.
+
+A :class:`RunMetrics` is what an :class:`~repro.obs.spans.Observer`
+freezes into at the end of a run; the CLI's ``--metrics-out PATH`` writes
+one per invocation and ``benchmarks/bench_profile.py`` commits one as the
+perf-trajectory baseline.
+
+Schema (``repro.metrics/1``) — a single JSON object:
+
+- ``schema``   — the literal version string;
+- ``run``      — free-form run identity (command, seed, scale, ...);
+    values must be JSON scalars;
+- ``spans``    — ``{path: {count, total_s, min_s, max_s}}`` — hierarchical
+    span paths are ``/``-joined;
+- ``counters`` — ``{name: number}``;
+- ``gauges``   — ``{name: number}``.
+
+:func:`validate_metrics` checks a parsed payload against this shape and
+returns a list of problems (empty = valid); :meth:`RunMetrics.from_dict`
+raises on the first problem, so a round-trip is also a validation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = "repro.metrics/1"
+
+_SPAN_FIELDS = ("count", "total_s", "min_s", "max_s")
+
+
+@dataclass
+class RunMetrics:
+    """One run's observability snapshot, serialisable to/from JSON."""
+
+    run: Dict[str, object] = field(default_factory=dict)
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    schema: str = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "run": dict(self.run),
+            "spans": {path: dict(stat) for path, stat in self.spans.items()},
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunMetrics":
+        problems = validate_metrics(payload)
+        if problems:
+            raise ValueError(
+                "invalid metrics payload: " + "; ".join(problems)
+            )
+        return cls(
+            run=dict(payload["run"]),
+            spans={
+                path: {k: float(v) for k, v in stat.items()}
+                for path, stat in payload["spans"].items()
+            },
+            counters={k: float(v) for k, v in payload["counters"].items()},
+            gauges={k: float(v) for k, v in payload["gauges"].items()},
+            schema=payload["schema"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMetrics":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def read(cls, path: str) -> "RunMetrics":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_metrics(payload: object) -> List[str]:
+    """Check a parsed JSON payload against the ``repro.metrics/1`` schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    payload is valid.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {SCHEMA_VERSION!r}, got {payload.get('schema')!r}"
+        )
+    for section in ("run", "spans", "counters", "gauges"):
+        if not isinstance(payload.get(section), dict):
+            problems.append(f"missing or non-object section {section!r}")
+    if problems:
+        return problems
+    for key, value in payload["run"].items():
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            problems.append(f"run[{key!r}] must be a JSON scalar")
+    for path, stat in payload["spans"].items():
+        if not isinstance(stat, dict):
+            problems.append(f"spans[{path!r}] must be an object")
+            continue
+        for field_name in _SPAN_FIELDS:
+            if not _is_number(stat.get(field_name)):
+                problems.append(
+                    f"spans[{path!r}] missing numeric field {field_name!r}"
+                )
+        extras = set(stat) - set(_SPAN_FIELDS)
+        if extras:
+            problems.append(
+                f"spans[{path!r}] has unknown fields {sorted(extras)}"
+            )
+    for section in ("counters", "gauges"):
+        for name, value in payload[section].items():
+            if not _is_number(value):
+                problems.append(f"{section}[{name!r}] must be a number")
+    return problems
+
+
+def render_profile(metrics: RunMetrics, max_rows: int = 40) -> str:
+    """Human-readable profile for the CLI's ``--profile`` flag."""
+    from repro.util.tables import format_table
+
+    lines: List[str] = []
+    if metrics.run:
+        run_bits = ", ".join(
+            f"{k}={v}" for k, v in sorted(metrics.run.items())
+        )
+        lines.append(f"run: {run_bits}")
+    if metrics.spans:
+        rows = []
+        # Widest first so the hot phases lead; hierarchy stays readable
+        # because children carry their parents' path prefix.
+        ordered = sorted(
+            metrics.spans.items(), key=lambda kv: -kv[1]["total_s"]
+        )
+        for path, stat in ordered[:max_rows]:
+            rows.append(
+                (
+                    path,
+                    int(stat["count"]),
+                    f"{stat['total_s'] * 1e3:.2f}",
+                    f"{stat['total_s'] / max(stat['count'], 1) * 1e3:.3f}",
+                    f"{stat['max_s'] * 1e3:.3f}",
+                )
+            )
+        lines.append(
+            format_table(
+                ("span", "count", "total ms", "mean ms", "max ms"),
+                rows,
+                title="timing spans",
+            )
+        )
+    if metrics.counters:
+        rows = [
+            (name, f"{value:g}")
+            for name, value in sorted(metrics.counters.items())
+        ]
+        lines.append(format_table(("counter", "value"), rows, title="counters"))
+    if metrics.gauges:
+        rows = [
+            (name, f"{value:g}")
+            for name, value in sorted(metrics.gauges.items())
+        ]
+        lines.append(format_table(("gauge", "value"), rows, title="gauges"))
+    if not lines:
+        lines.append("(no observability data recorded)")
+    return "\n".join(lines)

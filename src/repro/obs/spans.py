@@ -1,0 +1,203 @@
+"""Hierarchical timing spans and named counters.
+
+An :class:`Observer` is the single recording surface a component needs:
+
+- ``with obs.span("sweep"): ...`` times a phase on the monotonic clock and
+  aggregates it under a ``/``-joined hierarchical path (``crawl/day/sweep``
+  when entered inside ``crawl`` and ``day`` spans);
+- ``obs.record_span("one_hop", elapsed)`` feeds a pre-measured duration
+  into the same aggregate, for hot loops where a context manager per
+  iteration would be too chatty;
+- ``obs.count("browse_attempts")`` / ``obs.gauge("delivery_rate", 0.98)``
+  keep named scalars.
+
+Spans are *aggregated*, not logged: each path keeps count/total/min/max,
+so memory stays bounded over arbitrarily long runs — the always-on
+counters a long-running capture needs.
+
+Determinism contract: an Observer never draws randomness and never feeds
+back into simulation state, so enabling it cannot perturb a seeded run.
+When disabled, ``span`` returns a shared no-op context manager and every
+other method returns immediately — negligible overhead on hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+
+@dataclass
+class SpanStat:
+    """Aggregate timing of one span path."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.count += 1
+        self.total_s += elapsed_s
+        if elapsed_s < self.min_s:
+            self.min_s = elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    @property
+    def mean_s(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total_s / self.count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: pushes its name on the observer's stack while open."""
+
+    __slots__ = ("_observer", "_name", "_start")
+
+    def __init__(self, observer: "Observer", name: str) -> None:
+        self._observer = observer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._observer._push(self._name)
+        self._start = self._observer.clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = self._observer.clock() - self._start
+        self._observer._pop(elapsed)
+        return False
+
+
+class Observer:
+    """Span/counter recorder carried by the instrumented layers.
+
+    ``clock`` is injectable for tests; it defaults to
+    :func:`time.perf_counter` (monotonic, high resolution).
+    """
+
+    __slots__ = ("enabled", "clock", "span_stats", "counters", "gauges", "_stack")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.span_stats: Dict[str, SpanStat] = {}
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self._stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Spans
+
+    def span(self, name: str):
+        """Context manager timing ``name`` under the current span path."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def record_span(self, name: str, elapsed_s: float) -> None:
+        """Fold a pre-measured duration into ``name``'s aggregate."""
+        if not self.enabled:
+            return
+        self._stat_for(self._path(name)).add(elapsed_s)
+
+    def _path(self, name: str) -> str:
+        if not self._stack:
+            return name
+        return "/".join(self._stack) + "/" + name
+
+    def _stat_for(self, path: str) -> SpanStat:
+        stat = self.span_stats.get(path)
+        if stat is None:
+            stat = self.span_stats[path] = SpanStat()
+        return stat
+
+    def _push(self, name: str) -> None:
+        self._stack.append(name)
+
+    def _pop(self, elapsed_s: float) -> None:
+        path = "/".join(self._stack)
+        self._stack.pop()
+        self._stat_for(path).add(elapsed_s)
+
+    # ------------------------------------------------------------------
+    # Counters / gauges
+
+    def count(self, name: str, n: float = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    def merge_counters(
+        self, values: Mapping[str, float], prefix: str = ""
+    ) -> None:
+        """Add a flat mapping of numeric values into the counters.
+
+        This is how per-subsystem accounting that already exists
+        (``FaultStats.as_dict()``, ``MessageStats.sent``, ``CrawlStats``)
+        is unified into one report without double bookkeeping.
+        """
+        if not self.enabled:
+            return
+        for name, value in values.items():
+            key = prefix + name
+            self.counters[key] = self.counters.get(key, 0) + float(value)
+
+    # ------------------------------------------------------------------
+    # Reporting
+
+    def report(self, run: Optional[Dict[str, object]] = None):
+        """Freeze the current state into a :class:`RunMetrics`."""
+        from repro.obs.report import RunMetrics
+
+        return RunMetrics(
+            run=dict(run or {}),
+            spans={
+                path: stat.as_dict()
+                for path, stat in sorted(self.span_stats.items())
+            },
+            counters=dict(sorted(self.counters.items())),
+            gauges=dict(sorted(self.gauges.items())),
+        )
+
+
+#: Shared disabled observer — the default for every instrumented layer.
+#: It is safe to share because a disabled Observer mutates nothing.
+NULL_OBSERVER = Observer(enabled=False)

@@ -1,0 +1,57 @@
+"""Validation of SearchConfig.initial_lists (warm-start neighbour lists).
+
+A malformed warm-start list used to be carried silently into the
+simulation — oversized lists were truncated by the strategies and dead
+entries (peers absent from the trace) deflated hit rates for no modelled
+reason.  Both now fail fast: structural problems at config construction,
+trace-membership problems at simulator construction.
+"""
+
+import pytest
+
+from repro.core.search import SearchConfig, SearchSimulator, simulate_search
+from tests.conftest import build_static
+
+
+class TestStructuralValidation:
+    def test_list_longer_than_list_size_rejected(self):
+        with pytest.raises(ValueError, match="exceeding list_size"):
+            SearchConfig(list_size=2, initial_lists={0: [1, 2, 3]})
+
+    def test_duplicate_neighbours_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchConfig(list_size=4, initial_lists={0: [1, 2, 1]})
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError, match="own"):
+            SearchConfig(list_size=4, initial_lists={0: [1, 0]})
+
+    def test_valid_lists_accepted(self):
+        config = SearchConfig(list_size=3, initial_lists={0: [1, 2, 3]})
+        assert config.initial_lists == {0: [1, 2, 3]}
+
+    def test_fixed_strategy_still_requires_lists(self):
+        with pytest.raises(ValueError, match="initial_lists"):
+            SearchConfig(strategy="fixed")
+
+
+class TestTraceMembership:
+    def trace(self):
+        return build_static({0: ["a"], 1: ["a", "b"], 2: ["b"]})
+
+    def test_unknown_neighbour_rejected(self):
+        config = SearchConfig(list_size=3, initial_lists={0: [1, 99]})
+        with pytest.raises(ValueError, match="absent from"):
+            SearchSimulator(self.trace(), config)
+
+    def test_unknown_owner_rejected(self):
+        config = SearchConfig(list_size=3, initial_lists={77: [0, 1]})
+        with pytest.raises(ValueError, match="not in the trace"):
+            SearchSimulator(self.trace(), config)
+
+    def test_valid_warm_start_still_runs(self):
+        config = SearchConfig(
+            list_size=3, initial_lists={0: [1, 2]}, seed=0
+        )
+        result = simulate_search(self.trace(), config)
+        assert result.rates.contributions >= 1

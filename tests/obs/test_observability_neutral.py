@@ -1,0 +1,99 @@
+"""The determinism contract: observability must never perturb a run.
+
+Enabling spans/counters may not change a single byte of a seeded crawl
+trace or a single outcome of a seeded search — the Observer draws no
+randomness and feeds nothing back into simulation state.  These tests
+run the same seeded workload with observability off and on and assert
+byte-identical/equal results, plus that the enabled run actually
+recorded something (so the neutrality is not vacuous).
+"""
+
+import dataclasses
+
+from repro.core.search import SearchConfig, simulate_search
+from repro.edonkey.crawler import Crawler, CrawlerConfig
+from repro.edonkey.network import NetworkConfig, build_network
+from repro.experiments.configs import Scale, workload_config
+from repro.faults import FaultConfig, RetryPolicy
+from repro.obs import Observer
+from repro.trace.io import dumps_trace
+from tests.conftest import build_static
+
+SEED = 11
+
+
+def crawl_network_config(faults: FaultConfig = None) -> NetworkConfig:
+    workload = dataclasses.replace(
+        workload_config(Scale.SMALL),
+        num_clients=50,
+        num_files=750,
+        days=3,
+        mainstream_pool_size=50,
+    )
+    return NetworkConfig(
+        workload=workload, faults=faults or FaultConfig()
+    )
+
+
+def run_crawl(obs=None, faults=None, retry=None):
+    network = build_network(crawl_network_config(faults), seed=SEED, obs=obs)
+    crawler = Crawler(
+        network, CrawlerConfig(days=3, retry=retry), seed=SEED
+    )
+    trace = crawler.crawl()
+    return crawler, trace
+
+
+class TestCrawlNeutrality:
+    def test_seeded_crawl_is_byte_identical_with_obs_on(self):
+        _, plain = run_crawl(obs=None)
+        obs = Observer()
+        crawler, observed = run_crawl(obs=obs)
+        assert dumps_trace(observed) == dumps_trace(plain)
+        # The observed run really recorded the crawl phases.
+        assert "crawl/day/sweep_nicknames" in obs.span_stats
+        assert obs.counters["crawler/browse_attempts"] == float(
+            crawler.stats.browse_attempts
+        )
+
+    def test_faulty_crawl_is_byte_identical_with_obs_on(self):
+        faults = FaultConfig(loss_rate=0.1, server_crash_day=1)
+        retry = RetryPolicy(max_retries=2)
+        plain_crawler, plain = run_crawl(obs=None, faults=faults, retry=retry)
+        obs = Observer()
+        crawler, observed = run_crawl(obs=obs, faults=faults, retry=retry)
+        assert dumps_trace(observed) == dumps_trace(plain)
+        assert crawler.stats == plain_crawler.stats
+        assert (
+            crawler.network.faults.stats == plain_crawler.network.faults.stats
+        )
+        # Fault accounting is unified into the metrics counters.
+        assert obs.counters["faults/messages_dropped"] == float(
+            crawler.network.faults.stats.messages_dropped
+        )
+        assert "faults/delivery_rate" in obs.gauges
+
+
+class TestSearchNeutrality:
+    def test_seeded_search_results_identical_with_obs_on(self):
+        trace = build_static(
+            {i: [f"f{j}" for j in range(i % 7 + 3)] for i in range(30)}
+        )
+        config = SearchConfig(list_size=4, seed=SEED)
+        plain = simulate_search(trace, config)
+        obs = Observer()
+        observed = simulate_search(trace, config, obs=obs)
+        assert observed.rates == plain.rates
+        assert observed.load.messages == plain.load.messages
+        assert observed.probes_lost == plain.probes_lost
+        assert obs.counters["search/requests"] == float(plain.rates.requests)
+        assert "search/one_hop" in obs.span_stats
+
+    def test_two_hop_search_identical_with_obs_on(self):
+        trace = build_static(
+            {i: [f"f{j}" for j in range(8)] for i in range(12)}
+        )
+        config = SearchConfig(list_size=3, two_hop=True, seed=SEED)
+        plain = simulate_search(trace, config)
+        observed = simulate_search(trace, config, obs=Observer())
+        assert observed.rates == plain.rates

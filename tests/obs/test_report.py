@@ -1,0 +1,91 @@
+"""Tests for RunMetrics serialisation, schema validation, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    Observer,
+    RunMetrics,
+    render_profile,
+    validate_metrics,
+)
+
+
+def sample_metrics() -> RunMetrics:
+    obs = Observer(clock=iter(range(100)).__next__)
+    with obs.span("crawl"):
+        with obs.span("sweep"):
+            pass
+    obs.count("crawler/browse_attempts", 12)
+    obs.gauge("faults/delivery_rate", 0.97)
+    return obs.report(run={"command": "crawl", "seed": 3})
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        metrics = sample_metrics()
+        again = RunMetrics.from_json(metrics.to_json())
+        assert again.to_dict() == metrics.to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        metrics = sample_metrics()
+        path = str(tmp_path / "metrics.json")
+        metrics.write(path)
+        assert RunMetrics.read(path).to_dict() == metrics.to_dict()
+
+    def test_report_output_is_schema_valid(self):
+        payload = json.loads(sample_metrics().to_json())
+        assert validate_metrics(payload) == []
+
+    def test_schema_version_is_stamped(self):
+        assert sample_metrics().to_dict()["schema"] == SCHEMA_VERSION
+
+
+class TestValidation:
+    def test_non_object_payload(self):
+        assert validate_metrics([1, 2]) != []
+
+    def test_wrong_schema_version(self):
+        payload = sample_metrics().to_dict()
+        payload["schema"] = "repro.metrics/999"
+        assert any("schema" in p for p in validate_metrics(payload))
+
+    def test_missing_section(self):
+        payload = sample_metrics().to_dict()
+        del payload["counters"]
+        assert any("counters" in p for p in validate_metrics(payload))
+
+    def test_non_numeric_counter(self):
+        payload = sample_metrics().to_dict()
+        payload["counters"]["bad"] = "many"
+        assert any("bad" in p for p in validate_metrics(payload))
+
+    def test_span_missing_field(self):
+        payload = sample_metrics().to_dict()
+        del payload["spans"]["crawl"]["total_s"]
+        assert any("total_s" in p for p in validate_metrics(payload))
+
+    def test_span_unknown_field(self):
+        payload = sample_metrics().to_dict()
+        payload["spans"]["crawl"]["p99_s"] = 1.0
+        assert any("p99_s" in p for p in validate_metrics(payload))
+
+    def test_from_dict_raises_on_invalid(self):
+        payload = sample_metrics().to_dict()
+        payload["schema"] = "nope"
+        with pytest.raises(ValueError, match="invalid metrics"):
+            RunMetrics.from_dict(payload)
+
+
+class TestRender:
+    def test_profile_mentions_spans_and_counters(self):
+        text = render_profile(sample_metrics())
+        assert "crawl/sweep" in text
+        assert "crawler/browse_attempts" in text
+        assert "faults/delivery_rate" in text
+        assert "command=crawl" in text
+
+    def test_empty_metrics_render(self):
+        assert "no observability data" in render_profile(RunMetrics())

@@ -178,6 +178,80 @@ class TestSearchFaultFlags:
         assert "evictions" in captured
 
 
+class TestObservabilityFlags:
+    def test_crawl_profile_and_metrics_out(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            ["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+             "--profile", "--metrics-out", str(metrics_path)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "timing spans" in captured
+        assert "crawl/day/sweep_nicknames" in captured
+        assert metrics_path.exists()
+
+        import json
+
+        from repro.obs import RunMetrics, validate_metrics
+
+        payload = json.loads(metrics_path.read_text())
+        assert validate_metrics(payload) == []
+        metrics = RunMetrics.from_dict(payload)
+        # Spans cover the crawler and network layers; counters unify the
+        # crawler's and the fault injector's accounting.
+        assert "crawl/day/network/advance_day" in metrics.spans
+        assert "crawler/browse_attempts" in metrics.counters
+        assert "faults/messages_total" in metrics.counters
+        assert metrics.run["command"] == "crawl"
+
+    def test_search_metrics_out(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_metrics
+
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            ["search", "--scale", "small", "--seed", "3",
+             "--list-sizes", "5", "--metrics-out", str(metrics_path)]
+        )
+        assert rc == 0
+        payload = json.loads(metrics_path.read_text())
+        assert validate_metrics(payload) == []
+        assert "search@5/search/request_loop" in payload["spans"]
+        assert payload["counters"]["search/requests"] > 0
+
+    def test_obs_flags_leave_output_identical(self, tmp_path, capsys):
+        plain_out = tmp_path / "plain.jsonl.gz"
+        obs_out = tmp_path / "observed.jsonl.gz"
+        main(["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+              "-o", str(plain_out)])
+        capsys.readouterr()
+        main(["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+              "--profile", "-o", str(obs_out)])
+        capsys.readouterr()
+        import gzip
+
+        assert gzip.decompress(obs_out.read_bytes()) == gzip.decompress(
+            plain_out.read_bytes()
+        )
+
+    def test_experiment_accepts_obs_flags(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_metrics
+
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            ["experiment", "fig5", "--scale", "small",
+             "--metrics-out", str(metrics_path)]
+        )
+        assert rc == 0
+        payload = json.loads(metrics_path.read_text())
+        assert validate_metrics(payload) == []
+        assert "experiment/fig5" in payload["spans"]
+
+
 class TestCalibrateCommand:
     def test_synthetic_calibration_passes(self, capsys):
         rc = main(["calibrate", "--scale", "small", "--seed", "20060418"])
