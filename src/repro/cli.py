@@ -6,11 +6,15 @@
 - ``stats``      — print Table-1 style characteristics of a saved trace;
 - ``analyze``    — run a clustering analysis on a saved or fresh trace;
 - ``search``     — run the semantic-search simulation;
-- ``experiment`` — reproduce a specific paper table/figure by id;
+- ``experiment`` — reproduce a specific paper table/figure by registry
+  name (``--list`` prints the registry);
+- ``run-all``    — run every registered experiment, writing one run
+  manifest each (skipped on a later run if the manifest still matches);
 - ``crawl``      — run the protocol-level network + crawler simulation.
 
 Every command takes ``--seed`` and prints deterministic output, so CLI
-runs are reproducible and scriptable.
+runs are reproducible and scriptable.  ``experiment`` and ``run-all``
+dispatch through :mod:`repro.runtime`'s experiment registry.
 """
 
 from __future__ import annotations
@@ -19,10 +23,16 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime import DEFAULT_SEED, Scale, workload_config
 
 
-_SCALES = {"small": Scale.SMALL, "default": Scale.DEFAULT, "large": Scale.LARGE}
+_SCALES = {
+    "tiny": Scale.TINY,
+    "small": Scale.SMALL,
+    "default": Scale.DEFAULT,
+    "large": Scale.LARGE,
+}
+_SCALE_CHOICES = ["tiny", "small", "default", "large"]
 
 
 def _scale(name: str) -> Scale:
@@ -38,7 +48,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
         "--scale",
-        choices=["small", "default", "large"],
+        choices=_SCALE_CHOICES,
         default="small",
         help="workload scale preset",
     )
@@ -262,75 +272,107 @@ def cmd_search(args: argparse.Namespace) -> int:
 # experiment
 
 
-EXPERIMENT_IDS = {
-    "table1": "run_table1",
-    "table2": "run_table2",
-    "table3": "run_table3",
-    "fig1": "run_figure01",
-    "fig2": "run_figure02",
-    "fig3": "run_figure03",
-    "fig4": "run_figure04",
-    "fig5": "run_figure05",
-    "fig6": "run_figure06",
-    "fig7": "run_figure07",
-    "fig8": "run_figure08",
-    "fig9": "run_figure09_10",
-    "fig10": "run_figure09_10",
-    "fig11": "run_figure11",
-    "fig12": "run_figure12",
-    "fig13": "run_figure13",
-    "fig14": "run_figure14",
-    "fig15": "run_figure15_17",
-    "fig16": "run_figure15_17",
-    "fig17": "run_figure15_17",
-    "fig18": "run_figure18",
-    "fig19": "run_figure19",
-    "fig20": "run_figure20",
-    "fig21": "run_figure21",
-    "fig22": "run_figure22",
-    "fig23": "run_figure23",
-    "flooding": "run_flooding_estimate",
-    # extensions
-    "overlay": "run_gossip_overlay",
-    "overlay-vs-reactive": "run_overlay_vs_reactive",
-    "peercache": "run_peercache",
-    "strategies": "run_strategy_comparison",
-    "availability": "run_availability_sweep",
-    "exchange": "run_exchange_graph",
-    "extrapolation": "run_extrapolation_ablation",
-    "live": "run_live_semantic",
-    "mechanisms": "run_mechanism_comparison",
-    "cost-benefit": "run_cost_benefit",
-    "sensitivity": "run_loyalty_sensitivity",
-    "faults": "run_fault_degradation",
-}
+def _experiment_ids() -> dict:
+    """Registry-derived ``{cli name: runner function name}`` mapping.
+
+    Kept as a function (and mirrored in the module-level
+    ``EXPERIMENT_IDS`` below) for the historical import surface; the
+    registry itself is the source of truth.
+    """
+    from repro.runtime.registry import load_all
+
+    ids = {}
+    for spec in load_all():
+        for name in (spec.name, *spec.aliases):
+            ids[name] = spec.runner_name
+    return ids
+
+
+EXPERIMENT_IDS = _experiment_ids()
+
+
+def _render_experiment_list() -> str:
+    from repro.runtime.registry import load_all
+    from repro.util.tables import format_table
+
+    rows = []
+    for spec in load_all():
+        name = spec.name
+        if spec.aliases:
+            name += " (" + ", ".join(spec.aliases) + ")"
+        rows.append((name, spec.artefact, spec.scale_name, spec.description))
+    return format_table(
+        ("name", "artefact", "scale", "description"),
+        rows,
+        title=f"Registered experiments ({len(rows)})",
+    )
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    import inspect
+    from repro.runtime import RunContext, UnknownExperimentError
+    from repro.runtime.registry import get as get_spec, load_all
 
-    import repro.experiments as experiments
-
-    runner_name = EXPERIMENT_IDS.get(args.id)
-    if runner_name is None:
-        print(f"unknown experiment {args.id!r}; choose from: "
-              + ", ".join(sorted(EXPERIMENT_IDS)), file=sys.stderr)
+    load_all()
+    if args.list or args.id is None:
+        print(_render_experiment_list())
+        return 0
+    try:
+        spec = get_spec(args.id)
+    except UnknownExperimentError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    runner = getattr(experiments, runner_name)
     obs = _observer(args)
-    # Runners opt into fine-grained instrumentation by taking an ``obs``
-    # kwarg; every runner still gets a top-level span either way.
-    kwargs = {}
-    if obs.enabled and "obs" in inspect.signature(runner).parameters:
-        kwargs["obs"] = obs
+    ctx = RunContext(seed=args.seed, scale=_scale(args.scale), obs=obs)
     with obs.span(f"experiment/{args.id}"):
-        result = runner(scale=_scale(args.scale), **kwargs)
+        result = spec.run(ctx=ctx)
     print(result.render())
     _emit_observability(
         args,
         obs,
         {"command": "experiment", "id": args.id, "scale": args.scale},
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# run-all
+
+
+def cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.runtime import RunContext, Runner, UnknownExperimentError
+
+    ctx = RunContext(seed=args.seed, scale=_scale(args.scale))
+    runner = Runner(ctx=ctx, results_dir=args.results_dir, force=args.force)
+
+    def report(outcome) -> None:
+        if outcome.skipped:
+            status = "skip (manifest up to date)"
+        elif outcome.ok:
+            status = f"ok   ({outcome.manifest.wall_time_s:.2f}s)"
+        else:
+            status = f"FAIL ({outcome.error})"
+        print(f"  {outcome.name:<20} {status}")
+
+    print(
+        f"Running experiments at scale={args.scale} seed={args.seed} "
+        f"-> {args.results_dir}"
+    )
+    try:
+        outcomes = runner.run_all(args.only or None, on_outcome=report)
+    except UnknownExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    executed = sum(1 for o in outcomes if o.ok and not o.skipped)
+    skipped = sum(1 for o in outcomes if o.skipped)
+    failed = [o for o in outcomes if not o.ok]
+    print(
+        f"{executed} run, {skipped} skipped, {len(failed)} failed "
+        f"({len(outcomes)} total)"
+    )
+    if failed:
+        for outcome in failed:
+            print(f"failed: {outcome.name}: {outcome.error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -468,9 +510,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = subparsers.add_parser("experiment", help="reproduce a paper artefact")
     _add_common(p)
-    p.add_argument("id", help="artefact id, e.g. fig18, table3, flooding")
+    p.add_argument(
+        "id",
+        nargs="?",
+        help="registry name, e.g. fig18, table3, flooding (omit with --list)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment registry and exit",
+    )
     _add_obs_flags(p)
-    p.set_defaults(func=cmd_experiment)
+    # Experiments default to the paper seed, not the generic CLI seed 0
+    # (the registry runners' historical default).
+    p.set_defaults(func=cmd_experiment, seed=DEFAULT_SEED)
+
+    p = subparsers.add_parser(
+        "run-all", help="run every registered experiment, with manifests"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory for manifests and CSVs (default: results/)",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="re-run even when a manifest with a matching hash exists",
+    )
+    p.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only these registry names",
+    )
+    p.set_defaults(func=cmd_run_all, seed=DEFAULT_SEED)
 
     p = subparsers.add_parser(
         "calibrate", help="check a workload against every paper target"

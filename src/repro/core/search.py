@@ -22,7 +22,10 @@ the most popular files) operate on the input trace before simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.context import RunContext
 
 from repro.core.metrics import HitRateAccumulator, LoadTracker
 from repro.core.neighbours import (
@@ -171,7 +174,13 @@ class SearchSimulator:
         trace: StaticTrace,
         config: Optional[SearchConfig] = None,
         obs: Optional[Observer] = None,
+        ctx: Optional["RunContext"] = None,
     ) -> None:
+        if ctx is not None:
+            if config is None:
+                config = SearchConfig(seed=ctx.seed)
+            if obs is None:
+                obs = ctx.obs
         self.trace = trace
         self.config = config or SearchConfig()
         self.obs = obs if obs is not None else NULL_OBSERVER
@@ -498,9 +507,10 @@ def simulate_search(
     trace: StaticTrace,
     config: Optional[SearchConfig] = None,
     obs: Optional[Observer] = None,
+    ctx: Optional["RunContext"] = None,
 ) -> SimulationResult:
     """One-call helper: build a simulator and run it."""
-    return SearchSimulator(trace, config, obs=obs).run()
+    return SearchSimulator(trace, config, obs=obs, ctx=ctx).run()
 
 
 # ----------------------------------------------------------------------

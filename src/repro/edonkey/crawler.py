@@ -23,7 +23,10 @@ from __future__ import annotations
 import itertools
 import string
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.context import RunContext
 
 from repro.edonkey.messages import BrowseRequest, QueryUsers, ServerListRequest
 from repro.edonkey.network import Network
@@ -124,9 +127,17 @@ class Crawler:
         self,
         network: Network,
         config: Optional[CrawlerConfig] = None,
-        seed: int = 0,
+        seed: Optional[int] = None,
         obs: Optional[Observer] = None,
+        ctx: Optional["RunContext"] = None,
     ) -> None:
+        if ctx is not None:
+            if seed is None:
+                seed = ctx.seed
+            if obs is None:
+                obs = ctx.obs
+        if seed is None:
+            seed = 0
         self.network = network
         self.config = config or CrawlerConfig()
         self.rng = RngStream(seed, "crawler")

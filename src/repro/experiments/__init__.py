@@ -1,14 +1,21 @@
 """Runnable reproductions of every table and figure in the paper.
 
-Each ``run_*`` function generates (or reuses, via the module-level cache in
-:mod:`repro.experiments.configs`) the appropriate synthetic workload, runs
-the corresponding pipeline + analysis, and returns an
-:class:`~repro.experiments.result.ExperimentResult` that renders to text and
-carries the headline metrics the benchmarks assert on.
+Each ``run_*`` function is registered with the runtime layer's experiment
+registry (:mod:`repro.runtime.registry`) via the ``@experiment``
+decorator, accepts an optional :class:`~repro.runtime.RunContext` (built
+from its loose ``scale``/``seed`` arguments when absent), and returns an
+:class:`~repro.experiments.result.ExperimentResult` that renders to text
+and carries the headline metrics the benchmarks assert on.
 
+Importing this package imports every experiment module (via
+:func:`pkgutil.iter_modules`), which populates the registry as a side
+effect — ``repro.runtime.registry.load_all()`` relies on exactly that.
 The mapping from paper artefact to function lives in DESIGN.md's
 per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
 """
+
+import importlib
+import pkgutil
 
 from repro.experiments.configs import (
     Scale,
@@ -19,97 +26,33 @@ from repro.experiments.configs import (
     workload_config,
 )
 from repro.experiments.result import ExperimentResult
-from repro.experiments.search_figures import (
-    run_figure18,
-    run_figure19,
-    run_figure20,
-    run_figure21,
-    run_figure22,
-    run_figure23,
-    run_table3,
-)
-from repro.experiments.semantic_figures import (
-    run_figure13,
-    run_figure14,
-    run_figure15_17,
-)
-from repro.experiments.trace_figures import (
-    run_figure01,
-    run_figure02,
-    run_figure03,
-    run_figure04,
-    run_figure05,
-    run_figure06,
-    run_figure07,
-    run_figure08,
-    run_figure09_10,
-    run_figure11,
-    run_figure12,
-    run_table1,
-    run_table2,
-)
-from repro.experiments.baseline_experiments import (
-    run_flooding_estimate,
-    run_mechanism_comparison,
-)
-from repro.experiments.cost_benefit import run_cost_benefit
-from repro.experiments.fault_experiments import run_fault_degradation
-from repro.experiments.extension_experiments import (
-    run_availability_sweep,
-    run_exchange_graph,
-    run_extrapolation_ablation,
-    run_loyalty_sensitivity,
-    run_strategy_comparison,
-)
-from repro.experiments.live_semantic import run_live_semantic
-from repro.experiments.overlay_experiments import (
-    run_gossip_overlay,
-    run_overlay_vs_reactive,
-)
-from repro.experiments.peercache_experiments import run_peercache
 
-__all__ = [
-    "ExperimentResult",
-    "Scale",
-    "get_extrapolated_trace",
-    "get_filtered_trace",
-    "get_static_trace",
-    "get_temporal_trace",
-    "run_figure01",
-    "run_figure02",
-    "run_figure03",
-    "run_figure04",
-    "run_figure05",
-    "run_figure06",
-    "run_figure07",
-    "run_figure08",
-    "run_figure09_10",
-    "run_figure11",
-    "run_figure12",
-    "run_figure13",
-    "run_figure14",
-    "run_figure15_17",
-    "run_figure18",
-    "run_figure19",
-    "run_figure20",
-    "run_figure21",
-    "run_figure22",
-    "run_figure23",
-    "run_flooding_estimate",
-    "run_availability_sweep",
-    "run_cost_benefit",
-    "run_exchange_graph",
-    "run_extrapolation_ablation",
-    "run_fault_degradation",
-    "run_gossip_overlay",
-    "run_live_semantic",
-    "run_loyalty_sensitivity",
-    "run_mechanism_comparison",
-    "run_overlay_vs_reactive",
-    "run_peercache",
-    "run_strategy_comparison",
-    "run_table1",
-    "run_table2",
-    "run_table3",
-    "workload_config",
-]
+# Import every sibling module so each @experiment decorator runs.  New
+# experiment modules are picked up automatically — no import list to
+# maintain here.
+_SELF = __name__
+for _info in pkgutil.iter_modules(__path__):
+    importlib.import_module(f"{_SELF}.{_info.name}")
+del _SELF, _info
+
+# Re-export every registered runner under its historical name
+# (``from repro.experiments import run_figure18`` keeps working).
+from repro.runtime import registry as _registry
+
+_RUNNERS = {
+    spec.runner_name: spec.runner for spec in _registry.all_experiments()
+}
+globals().update(_RUNNERS)
+
+__all__ = sorted(
+    [
+        "ExperimentResult",
+        "Scale",
+        "get_extrapolated_trace",
+        "get_filtered_trace",
+        "get_static_trace",
+        "get_temporal_trace",
+        "workload_config",
+    ]
+    + list(_RUNNERS)
+)

@@ -7,28 +7,34 @@ from repro.analysis.popularity import max_spread_fraction
 from repro.baselines.flooding import expected_contacts, measure_flooding
 from repro.baselines.random_walk import measure_random_walk
 from repro.baselines.server_search import ServerLookup
+from typing import Optional
+
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import (
-    DEFAULT_SEED,
-    Scale,
-    get_filtered_trace,
-    get_static_trace,
-)
 from repro.experiments.result import ExperimentResult
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
 from repro.util.tables import format_table
 
 
+@experiment(
+    "flooding",
+    artefact="Section 3",
+    description="Flooding/random-walk cost vs the analytic 1/spread estimate",
+)
 def run_flooding_estimate(
-    scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Section 3's flooding estimate: with the most popular file spread on a
     fraction p of peers, ~1/p random contacts are needed; measured flooding
     over a random overlay should agree in order of magnitude."""
-    temporal = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    temporal = ctx.filtered_trace()
     spread = max_spread_fraction(temporal)
     analytic = expected_contacts(spread) if spread > 0 else float("inf")
 
-    static = get_static_trace(scale, seed)
+    static = ctx.static_trace()
     flood = measure_flooding(static, num_queries=300, seed=seed)
     walk = measure_random_walk(static, num_queries=300, seed=seed)
 
@@ -56,12 +62,22 @@ def run_flooding_estimate(
     )
 
 
+@experiment(
+    "mechanisms",
+    artefact="Section 5 (extension)",
+    description="Semantic neighbours vs flooding, random walk and a server",
+)
 def run_mechanism_comparison(
-    scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED, list_size: int = 20
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    list_size: int = 20,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Head-to-head: semantic neighbours vs flooding vs random walk vs
     central server, on the same static workload."""
-    static = get_static_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    static = ctx.static_trace()
 
     semantic = simulate_search(
         static,

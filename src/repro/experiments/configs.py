@@ -1,108 +1,61 @@
-"""Workload presets and the shared trace cache.
+"""Back-compat shim over the runtime layer's scales and trace cache.
 
-Experiments come in two scales:
+The scale presets and the shared trace cache moved to
+:mod:`repro.runtime` (``repro.runtime.scale`` and
+``repro.runtime.cache``); experiments reach them through a
+:class:`~repro.runtime.context.RunContext` (``ctx.static_trace()`` etc.).
+This module keeps the historical import surface working::
 
-- ``Scale.SMALL`` — a few hundred clients; used by the test suite;
-- ``Scale.DEFAULT`` — a couple thousand clients; used by the benchmarks.
+    from repro.experiments.configs import Scale, get_static_trace
 
-Traces are deterministic in (scale, seed) and expensive enough to be worth
-sharing: the cache below means the ~20 benchmarks generate each trace
-variant once per process instead of once per benchmark.
+The module-level getters delegate to the process-wide
+:data:`~repro.runtime.cache.SHARED_TRACE_CACHE` — bounded and
+(scale, seed)-keyed, unlike the unbounded-per-variant ``lru_cache``
+quartet that used to live here.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-from functools import lru_cache
-
-from repro.trace.extrapolation import extrapolate
-from repro.trace.filtering import filter_duplicates
+from repro.runtime.cache import SHARED_TRACE_CACHE
+from repro.runtime.scale import DEFAULT_SEED, Scale, workload_config
 from repro.trace.model import StaticTrace, Trace
-from repro.workload.config import WorkloadConfig
-from repro.workload.generator import SyntheticWorkloadGenerator
 
-DEFAULT_SEED = 20060418  # EuroSys'06 started April 18, 2006
-
-
-class Scale(enum.Enum):
-    SMALL = "small"
-    DEFAULT = "default"
-    LARGE = "large"
-
-
-def workload_config(scale: Scale = Scale.DEFAULT) -> WorkloadConfig:
-    """The workload preset for a scale (see WorkloadConfig for dials)."""
-    base = WorkloadConfig()
-    if scale is Scale.DEFAULT:
-        return base
-    if scale is Scale.SMALL:
-        return dataclasses.replace(
-            base,
-            num_clients=320,
-            num_files=12000,
-            days=24,
-            num_shock_files=4,
-            mainstream_pool_size=600,
-            interest_model=dataclasses.replace(
-                base.interest_model, num_categories=48
-            ),
-        )
-    if scale is Scale.LARGE:
-        return dataclasses.replace(
-            base,
-            num_clients=5000,
-            num_files=200000,
-            mainstream_pool_size=10000,
-            interest_model=dataclasses.replace(
-                base.interest_model, num_categories=750
-            ),
-        )
-    raise ValueError(f"unknown scale {scale!r}")
+__all__ = [
+    "DEFAULT_SEED",
+    "Scale",
+    "clear_trace_cache",
+    "get_extrapolated_trace",
+    "get_filtered_trace",
+    "get_static_trace",
+    "get_temporal_trace",
+    "workload_config",
+]
 
 
-@lru_cache(maxsize=8)
 def get_temporal_trace(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Trace:
     """The *full trace* (crawler output equivalent) for a scale."""
-    generator = SyntheticWorkloadGenerator(config=workload_config(scale), seed=seed)
-    return generator.generate()
+    return SHARED_TRACE_CACHE.temporal(scale, seed)
 
 
-@lru_cache(maxsize=8)
 def get_filtered_trace(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Trace:
     """The *filtered trace*: duplicate clients removed."""
-    return filter_duplicates(get_temporal_trace(scale, seed))
+    return SHARED_TRACE_CACHE.filtered(scale, seed)
 
 
-@lru_cache(maxsize=8)
 def get_extrapolated_trace(
     scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
 ) -> Trace:
     """The *extrapolated trace*: eligible clients, gaps intersection-filled."""
-    return extrapolate(get_filtered_trace(scale, seed))
+    return SHARED_TRACE_CACHE.extrapolated(scale, seed)
 
 
-@lru_cache(maxsize=8)
 def get_static_trace(
     scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
 ) -> StaticTrace:
-    """The static search workload (Section 5): filtered trace, collapsed.
-
-    Built directly by the generator's static path — equivalent content
-    model, much faster than running the churn loop — then duplicate-free by
-    construction (aliases are excluded the same way filtering would).
-    """
-    generator = SyntheticWorkloadGenerator(config=workload_config(scale), seed=seed)
-    static = generator.generate_static()
-    aliases = [
-        p.meta.client_id for p in generator.profiles if p.alias_of is not None
-    ]
-    return static.without_clients(aliases)
+    """The static search workload (Section 5): filtered trace, collapsed."""
+    return SHARED_TRACE_CACHE.static(scale, seed)
 
 
 def clear_trace_cache() -> None:
     """Drop all cached traces (mainly for tests that tweak configs)."""
-    get_temporal_trace.cache_clear()
-    get_filtered_trace.cache_clear()
-    get_extrapolated_trace.cache_clear()
-    get_static_trace.cache_clear()
+    SHARED_TRACE_CACHE.clear()

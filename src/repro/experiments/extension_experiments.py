@@ -12,22 +12,28 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import DEFAULT_SEED, Scale, get_static_trace
 from repro.experiments.result import ExperimentResult
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
 from repro.util.cdf import Series
 from repro.util.tables import format_table
 
 STRATEGIES = ("lru", "history", "popularity", "random")
 
 
+@experiment(
+    "strategies",
+    artefact="Section 5.3.2",
+    description="All four neighbour strategies, overall and on rare requests",
+)
 def run_strategy_comparison(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     list_size: int = 20,
     rare_max_replicas: int = 3,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Hit rates of every strategy, overall and on rare *requests*.
 
@@ -36,7 +42,9 @@ def run_strategy_comparison(
     interest is list pollution: requests for popular files fill the list
     with peers that are useless for the next rare query.
     """
-    trace = get_static_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    trace = ctx.static_trace()
 
     rows = []
     metrics: Dict[str, float] = {}
@@ -76,11 +84,17 @@ def run_strategy_comparison(
     )
 
 
+@experiment(
+    "sensitivity",
+    artefact="Figure 21 (extension)",
+    description="Robustness sweep over the interest-loyalty parameter",
+)
 def run_loyalty_sensitivity(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     loyalties: Sequence[float] = (0.5, 0.7, 0.9),
     list_size: int = 10,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Robustness sweep over ``interest_loyalty``, the one parameter the
     whole reproduction hinges on.
@@ -93,15 +107,16 @@ def run_loyalty_sensitivity(
     import dataclasses
 
     from repro.core.randomization import randomize_trace
-    from repro.experiments.configs import workload_config
     from repro.util.rng import RngStream
     from repro.workload.generator import SyntheticWorkloadGenerator
 
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
     rows = []
     metrics: Dict[str, float] = {}
     for loyalty in loyalties:
         config = dataclasses.replace(
-            workload_config(scale), interest_loyalty=loyalty
+            ctx.workload(), interest_loyalty=loyalty
         )
         generator = SyntheticWorkloadGenerator(config=config, seed=seed)
         static = generator.generate_static()
@@ -147,9 +162,15 @@ def run_loyalty_sensitivity(
     )
 
 
+@experiment(
+    "extrapolation",
+    artefact="Section 4 (extension)",
+    description="Sensitivity of clustering metrics to the gap-fill rule",
+)
 def run_extrapolation_ablation(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Sensitivity of the clustering metrics to the extrapolation rule.
 
@@ -163,10 +184,10 @@ def run_extrapolation_ablation(
     does not drive its clustering results.
     """
     from repro.analysis.semantic import clustering_correlation
-    from repro.experiments.configs import get_filtered_trace
     from repro.trace.extrapolation import FILL_MODES, ExtrapolationConfig, extrapolate
 
-    filtered = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    filtered = ctx.filtered_trace()
     rows = []
     metrics: Dict[str, float] = {}
     for fill in FILL_MODES:
@@ -201,16 +222,24 @@ def run_extrapolation_ablation(
     )
 
 
+@experiment(
+    "exchange",
+    artefact="Section 6",
+    description="Exchange-graph structure: reciprocity, skew, communities",
+)
 def run_exchange_graph(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     list_size: int = 20,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """The exchange graph of a full search run (Section 6's server-log
     observations: reciprocity, generous-uploader skew, dense communities)."""
     from repro.analysis.exchange_graph import summarize_exchanges
 
-    trace = get_static_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    trace = ctx.static_trace()
     result = simulate_search(
         trace,
         SearchConfig(
@@ -247,14 +276,22 @@ def run_exchange_graph(
     )
 
 
+@experiment(
+    "availability",
+    artefact="Section 5 (extension)",
+    description="LRU hit rate as peer availability degrades",
+)
 def run_availability_sweep(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     list_size: int = 20,
     availabilities: Sequence[float] = (1.0, 0.9, 0.7, 0.5, 0.3),
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """LRU hit rate as peer availability degrades."""
-    trace = get_static_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    trace = ctx.static_trace()
     series = Series(name=f"LRU-{list_size} hit rate vs availability (%)")
     metrics: Dict[str, float] = {}
     unresolvable_fraction: Dict[float, float] = {}

@@ -26,15 +26,10 @@ from typing import Dict, Optional, Sequence
 from repro.core.search import SearchConfig, simulate_search
 from repro.edonkey.crawler import Crawler, CrawlerConfig
 from repro.edonkey.network import NetworkConfig, build_network
-from repro.experiments.configs import (
-    DEFAULT_SEED,
-    Scale,
-    get_static_trace,
-    workload_config,
-)
 from repro.experiments.result import ExperimentResult
 from repro.faults import FaultConfig, RetryPolicy
 from repro.obs import NULL_OBSERVER, Observer
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment, workload_config
 from repro.util.cdf import Series
 
 DEFAULT_LOSS_RATES = (0.0, 0.01, 0.05, 0.20)
@@ -75,6 +70,12 @@ def _crawl_once(
     return crawler, trace
 
 
+@experiment(
+    "faults",
+    artefact="Robustness (extension)",
+    description="Trace/search fidelity under message loss and server crashes",
+    default_scale=Scale.SMALL,
+)
 def run_fault_degradation(
     scale: Scale = Scale.SMALL,
     seed: int = DEFAULT_SEED,
@@ -83,6 +84,7 @@ def run_fault_degradation(
     days: int = 4,
     list_size: int = 10,
     obs: Observer = NULL_OBSERVER,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Degradation sweep: fault intensity vs trace/search fidelity.
 
@@ -91,6 +93,8 @@ def run_fault_degradation(
     hostile scenario, not message loss alone.  The ``loss_rates[0] == 0``
     run doubles as the fault-free baseline.
     """
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed, obs=obs)
+    scale, seed, obs = ctx.scale, ctx.seed, ctx.obs
     if not loss_rates or loss_rates[0] != 0.0:
         loss_rates = (0.0, *loss_rates)
 
@@ -122,7 +126,7 @@ def run_fault_degradation(
         metrics[f"completeness@{rate:g}"] = report.completeness or 0.0
 
     # --- search side ------------------------------------------------
-    static = get_static_trace(scale, seed)
+    static = ctx.static_trace()
     for rate in loss_rates:
         with obs.span(f"experiment/search@{rate:g}"):
             result = simulate_search(

@@ -9,17 +9,23 @@ day, as the lists warm up.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.edonkey.network import NetworkConfig, build_network
+from repro.edonkey.network import NetworkConfig
 from repro.edonkey.semantic_client import (
     LiveSemanticConfig,
     LiveSemanticSimulation,
 )
-from repro.experiments.configs import DEFAULT_SEED, Scale, workload_config
 from repro.experiments.result import ExperimentResult
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
 
 
+@experiment(
+    "live",
+    artefact="Section 7 (announced follow-up)",
+    description="Semantic neighbour lists inside the protocol-level client",
+    default_scale=Scale.SMALL,
+)
 def run_live_semantic(
     scale: Scale = Scale.SMALL,
     seed: int = DEFAULT_SEED,
@@ -27,6 +33,7 @@ def run_live_semantic(
     strategy: str = "lru",
     list_size: int = 10,
     num_clients: int = 200,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Live semantic-client run on a protocol-level network.
 
@@ -34,7 +41,9 @@ def run_live_semantic(
     is controlled by ``num_clients`` because every peer here is a full
     protocol client (much heavier than the statistical simulation).
     """
-    base = workload_config(scale)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    base = ctx.workload()
     workload = dataclasses.replace(
         base,
         num_clients=num_clients,
@@ -42,14 +51,13 @@ def run_live_semantic(
         days=max(days + 2, 8),
         mainstream_pool_size=min(num_clients, max(num_clients * 16, 1000)),
     )
-    network = build_network(
+    network = ctx.build_network(
         NetworkConfig(
             workload=workload,
             semantic_clients=True,
             semantic_strategy=strategy,
             semantic_list_size=list_size,
         ),
-        seed=seed,
     )
     simulation = LiveSemanticSimulation(
         network,

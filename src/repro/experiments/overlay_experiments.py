@@ -15,21 +15,27 @@ rate) — the practical cost of the proactive approach.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import DEFAULT_SEED, Scale, get_static_trace
 from repro.experiments.result import ExperimentResult
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
 from repro.overlay.cyclon import CyclonConfig
 from repro.overlay.simulator import OverlayConfig, SemanticOverlaySimulator
 from repro.overlay.vicinity import VicinityConfig
 
 
+@experiment(
+    "overlay-vs-reactive",
+    artefact="Section 5 (extension)",
+    description="Converged gossip views vs reactive LRU on one workload",
+)
 def run_overlay_vs_reactive(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     view_size: int = 10,
     rounds: int = 15,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Plug converged gossip views into the *trace-driven* simulator.
 
@@ -40,7 +46,9 @@ def run_overlay_vs_reactive(
     - ``lru warm``   — LRU lists warm-started from the overlay views and
       then learning as usual (the hybrid a real client would deploy).
     """
-    trace = get_static_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    trace = ctx.static_trace()
     simulator = SemanticOverlaySimulator(
         trace,
         OverlayConfig(
@@ -88,14 +96,22 @@ def run_overlay_vs_reactive(
     )
 
 
+@experiment(
+    "overlay",
+    artefact="Related work (Voulgaris & van Steen)",
+    description="Epidemic semantic overlay: convergence and final hit rate",
+)
 def run_gossip_overlay(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     view_size: int = 10,
     rounds: int = 25,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Build the epidemic overlay and compare against reactive LRU."""
-    trace = get_static_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    trace = ctx.static_trace()
 
     simulator = SemanticOverlaySimulator(
         trace,

@@ -11,13 +11,8 @@ from repro.analysis.semantic import (
     popularity_band_filter,
 )
 from repro.core.randomization import randomize_trace
-from repro.experiments.configs import (
-    DEFAULT_SEED,
-    Scale,
-    get_extrapolated_trace,
-    get_filtered_trace,
-)
 from repro.experiments.result import ExperimentResult
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
 from repro.util.cdf import Series
 from repro.util.rng import RngStream
 
@@ -26,13 +21,23 @@ def _day_caches(trace, day):
     return {c: f for c, f in trace.snapshots_on(day).items() if f}
 
 
-def run_figure13(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig13",
+    artefact="Figure 13",
+    description="P(another common file | n in common), by popularity band",
+)
+def run_figure13(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 13: probability of another common file, given n in common.
 
     Three curves: all shared files of the first analysis day, plus audio
     files in a rare and in a popular replication band (full trace).
     """
-    extrapolated = get_extrapolated_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    extrapolated = ctx.extrapolated_trace()
     days = extrapolated.days()
     if not days:
         raise RuntimeError("extrapolated trace is empty")
@@ -40,7 +45,7 @@ def run_figure13(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     caches = _day_caches(extrapolated, day)
     all_series = clustering_correlation(caches, name=f"all files day {day}")
 
-    full_static = get_filtered_trace(scale, seed).to_static()
+    full_static = ctx.filtered_trace().to_static()
     static_caches = dict(full_static.caches)
     kind_of = {fid: meta.kind for fid, meta in full_static.files.items()}
     rare_filter = popularity_band_filter(
@@ -76,15 +81,22 @@ def run_figure13(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
+@experiment(
+    "fig14",
+    artefact="Figure 14",
+    description="Clustering correlation: real trace vs randomized trace",
+)
 def run_figure14(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     popularity_levels: Sequence[int] = (3, 5),
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Figure 14: clustering correlation, real trace vs randomized trace,
     for all files and for two low popularity levels."""
-    static = get_filtered_trace(scale, seed).to_static()
-    rng = RngStream(seed, "figure14-randomize")
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    static = ctx.filtered_trace().to_static()
+    rng = RngStream(ctx.seed, "figure14-randomize")
     randomized = randomize_trace(static, rng)
 
     series: List[Series] = []
@@ -120,18 +132,27 @@ def run_figure14(
     )
 
 
+@experiment(
+    "fig15",
+    artefact="Figures 15-17",
+    description="Evolution of pairwise cache overlap over time",
+    aliases=("fig16", "fig17"),
+)
 def run_figure15_17(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     low_levels: Sequence[int] = (1, 2, 3, 5, 10),
     high_levels: Optional[Sequence[int]] = None,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Figures 15-17: evolution of pairwise cache overlap over time.
 
     Low initial-overlap groups (Figure 15) decay smoothly; high-overlap
     groups (Figures 16-17) plateau — interest-based proximity persists.
     """
-    trace = get_extrapolated_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    seed = ctx.seed
+    trace = ctx.extrapolated_trace()
     days = trace.days()
     if not days:
         raise RuntimeError("extrapolated trace is empty")

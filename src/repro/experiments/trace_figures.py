@@ -3,7 +3,7 @@ Figures 1-12."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.contribution import (
     generosity_concentration,
@@ -22,14 +22,8 @@ from repro.analysis.popularity import (
     rank_evolution,
     rank_replication,
 )
-from repro.experiments.configs import (
-    DEFAULT_SEED,
-    Scale,
-    get_extrapolated_trace,
-    get_filtered_trace,
-    get_temporal_trace,
-)
 from repro.experiments.result import ExperimentResult
+from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
 from repro.trace.stats import (
     daily_counts,
     discovery_curve,
@@ -40,12 +34,22 @@ from repro.util.tables import format_table
 from repro.util.zipf import fit_zipf_slope
 
 
-def run_table1(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "table1",
+    artefact="Table 1",
+    description="General characteristics of the full/filtered/extrapolated traces",
+)
+def run_table1(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Table 1: general characteristics of the full / filtered /
     extrapolated traces."""
-    full = get_temporal_trace(scale, seed)
-    filtered = get_filtered_trace(scale, seed)
-    extrapolated = get_extrapolated_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    full = ctx.temporal_trace()
+    filtered = ctx.filtered_trace()
+    extrapolated = ctx.extrapolated_trace()
 
     rows = []
     metrics = {}
@@ -95,9 +99,19 @@ def run_table1(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Experi
     )
 
 
-def run_figure01(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig1",
+    artefact="Figure 1",
+    description="Clients and shared files scanned per day",
+)
+def run_figure01(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 1: clients and files scanned per day."""
-    trace = get_temporal_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.temporal_trace()
     clients, files, _ = daily_counts(trace)
     first_clients = clients.ys[0]
     last_clients = clients.ys[-1]
@@ -114,9 +128,19 @@ def run_figure01(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
-def run_figure02(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig2",
+    artefact="Figure 2",
+    description="New and total files discovered per day",
+)
+def run_figure02(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 2: new and total files discovered per day."""
-    trace = get_temporal_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.temporal_trace()
     new_files, total_files = discovery_curve(trace)
     rate = new_files_per_client_per_day(trace)
     tail_new = new_files.ys[-1]
@@ -134,9 +158,19 @@ def run_figure02(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
-def run_figure03(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig3",
+    artefact="Figure 3",
+    description="Files and non-empty caches per day (extrapolated trace)",
+)
+def run_figure03(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 3: files and non-empty caches per day after extrapolation."""
-    trace = get_extrapolated_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.extrapolated_trace()
     _, files, non_empty = daily_counts(trace)
     return ExperimentResult(
         experiment_id="figure-3",
@@ -150,9 +184,19 @@ def run_figure03(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
-def run_figure04(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig4",
+    artefact="Figure 4",
+    description="Distribution of clients per country",
+)
+def run_figure04(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 4: distribution of clients per country."""
-    trace = get_temporal_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.temporal_trace()
     rows = country_histogram(trace)
     table = format_table(
         ("country", "clients", "share"),
@@ -174,13 +218,20 @@ def run_figure04(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
+@experiment(
+    "fig5",
+    artefact="Figure 5",
+    description="File replication vs rank (log-log) across several days",
+)
 def run_figure05(
     scale: Scale = Scale.DEFAULT,
     seed: int = DEFAULT_SEED,
     num_days: int = 5,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Figure 5: file replication against rank for several days."""
-    trace = get_extrapolated_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.extrapolated_trace()
     days = trace.days()
     if not days:
         raise RuntimeError("extrapolated trace has no days")
@@ -201,9 +252,19 @@ def run_figure05(
     )
 
 
-def run_figure06(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig6",
+    artefact="Figure 6",
+    description="CDF of file sizes by popularity threshold",
+)
+def run_figure06(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 6: cumulative distribution of file sizes by popularity."""
-    trace = get_filtered_trace(scale, seed).to_static()
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.filtered_trace().to_static()
     series = size_cdf_by_popularity(trace, (1, 5, 10))
     metrics = {}
     for s, threshold in zip(series, (1, 5, 10)):
@@ -226,7 +287,16 @@ def run_figure06(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
-def run_figure07(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig7",
+    artefact="Figure 7",
+    description="Files and disk space shared per client",
+)
+def run_figure07(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 7: files and disk space shared per client.
 
     Contribution is measured per client as the mean *observed* cache (the
@@ -235,7 +305,8 @@ def run_figure07(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     Generosity concentration, which the search ablations use, stays on the
     static view (the paper's "top 15% offer 75% of the files").
     """
-    temporal = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    temporal = ctx.filtered_trace()
     trace = temporal.to_static()
     cdfs = temporal_contribution_cdfs(temporal)
     sharers_files = cdfs["files_sharers"]
@@ -265,9 +336,19 @@ def run_figure07(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
-def run_figure08(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig8",
+    artefact="Figure 8",
+    description="Spread of the 6 most popular files over time",
+)
+def run_figure08(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 8: spread of the 6 most popular files over time."""
-    trace = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.filtered_trace()
     series = file_spread(trace, top_k=6)
     peaks = [max(s.ys) if s.ys else 0.0 for s in series]
     rises = []
@@ -289,12 +370,21 @@ def run_figure08(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
+@experiment(
+    "fig9",
+    artefact="Figures 9-10",
+    description="Rank evolution of early-day and mid-trace top-5 files",
+    aliases=("fig10",),
+)
 def run_figure09_10(
-    scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
 ) -> ExperimentResult:
     """Figures 9 and 10: rank evolution of early-day and mid-trace top-5
     files."""
-    trace = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.filtered_trace()
     days = trace.days()
     if len(days) < 3:
         raise RuntimeError("need at least 3 days")
@@ -324,9 +414,19 @@ def run_figure09_10(
     )
 
 
-def run_table2(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "table2",
+    artefact="Table 2",
+    description="Top-5 autonomous systems by hosted clients",
+)
+def run_table2(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Table 2: the top-5 autonomous systems."""
-    trace = get_temporal_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.temporal_trace()
     rows = top_as_table(trace, 5)
     table = format_table(
         ("AS", "global", "national", "country"),
@@ -369,7 +469,16 @@ def _locality_metrics(series_list) -> dict:
     return metrics
 
 
-def run_figure11(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig11",
+    artefact="Figure 11",
+    description="CDF of sources in the home country, by popularity class",
+)
+def run_figure11(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 11: sources in the main country, by average popularity.
 
     The paper's average-popularity classes (1, 5, 10, 20, 50, 100) are
@@ -378,7 +487,8 @@ def run_figure11(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     classes are rescaled to (0.1, 0.3, 0.6, 1.2) — the last one isolates
     the genuinely popular files just as the paper's high classes do.
     """
-    trace = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.filtered_trace()
     series = home_locality_cdf(
         trace, level="country", popularity_thresholds=(0.1, 0.3, 0.6, 1.2)
     )
@@ -392,12 +502,22 @@ def run_figure11(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> Expe
     )
 
 
-def run_figure12(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED) -> ExperimentResult:
+@experiment(
+    "fig12",
+    artefact="Figure 12",
+    description="CDF of sources in the home AS, by popularity class",
+)
+def run_figure12(
+    scale: Scale = Scale.DEFAULT,
+    seed: int = DEFAULT_SEED,
+    ctx: Optional[RunContext] = None,
+) -> ExperimentResult:
     """Figure 12: sources in the main AS, by average popularity.
 
     Popularity classes rescaled as in :func:`run_figure11`.
     """
-    trace = get_filtered_trace(scale, seed)
+    ctx = RunContext.ensure(ctx, scale=scale, seed=seed)
+    trace = ctx.filtered_trace()
     series = home_locality_cdf(
         trace, level="as", popularity_thresholds=(0.1, 0.3, 0.6, 1.2)
     )

@@ -1,0 +1,135 @@
+"""The bounded, (scale, seed)-keyed trace cache.
+
+Traces are deterministic in (scale, seed) and expensive enough to be worth
+sharing: the shared cache below means the ~20 benchmarks — and a
+``run-all`` batch — generate each trace variant once per process instead
+of once per experiment.
+
+This replaces the old module-level ``functools.lru_cache`` quartet in
+``repro.experiments.configs``: one cache object, one bound across all four
+trace variants, an explicit :meth:`TraceCache.clear` for tests, and the
+option of a private cache per :class:`~repro.runtime.context.RunContext`
+when isolation matters more than sharing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+from repro.runtime.scale import DEFAULT_SEED, Scale, workload_config
+from repro.trace.extrapolation import extrapolate
+from repro.trace.filtering import filter_duplicates
+from repro.trace.model import StaticTrace, Trace
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+_Key = Tuple[str, Scale, int]
+
+
+class TraceCache:
+    """LRU cache of built trace variants, keyed by (kind, scale, seed).
+
+    ``maxsize`` bounds the *total* number of cached traces across all four
+    variants (the old per-variant ``lru_cache(maxsize=8)`` quartet could
+    hold 32 large traces); the least recently used entry is evicted first.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[_Key, object]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Core mechanics
+
+    def _get(self, kind: str, scale: Scale, seed: int, build: Callable):
+        key = (kind, scale, seed)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = build()
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every cached trace (mainly for tests that tweak configs)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _Key) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Trace variants
+
+    def temporal(
+        self, scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
+    ) -> Trace:
+        """The *full trace* (crawler output equivalent) for a scale."""
+        return self._get(
+            "temporal",
+            scale,
+            seed,
+            lambda: SyntheticWorkloadGenerator(
+                config=workload_config(scale), seed=seed
+            ).generate(),
+        )
+
+    def filtered(
+        self, scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
+    ) -> Trace:
+        """The *filtered trace*: duplicate clients removed."""
+        return self._get(
+            "filtered",
+            scale,
+            seed,
+            lambda: filter_duplicates(self.temporal(scale, seed)),
+        )
+
+    def extrapolated(
+        self, scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
+    ) -> Trace:
+        """The *extrapolated trace*: eligible clients, gaps filled."""
+        return self._get(
+            "extrapolated",
+            scale,
+            seed,
+            lambda: extrapolate(self.filtered(scale, seed)),
+        )
+
+    def static(
+        self, scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED
+    ) -> StaticTrace:
+        """The static search workload (Section 5): filtered, collapsed.
+
+        Built directly by the generator's static path — equivalent content
+        model, much faster than running the churn loop — then
+        duplicate-free by construction (aliases are excluded the same way
+        filtering would).
+        """
+        return self._get("static", scale, seed, lambda: _build_static(scale, seed))
+
+
+def _build_static(scale: Scale, seed: int) -> StaticTrace:
+    generator = SyntheticWorkloadGenerator(config=workload_config(scale), seed=seed)
+    static = generator.generate_static()
+    aliases = [
+        p.meta.client_id for p in generator.profiles if p.alias_of is not None
+    ]
+    return static.without_clients(aliases)
+
+
+#: The process-wide default cache.  Every :class:`RunContext` shares it
+#: unless constructed with a private one, so experiments, benchmarks and
+#: ``run-all`` batches reuse each other's traces.
+SHARED_TRACE_CACHE = TraceCache()

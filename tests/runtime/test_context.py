@@ -1,0 +1,154 @@
+"""Tests for RunContext and the bounded trace cache."""
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.obs import NULL_OBSERVER, Observer
+from repro.runtime import (
+    DEFAULT_SEED,
+    RunContext,
+    SHARED_TRACE_CACHE,
+    Scale,
+    TraceCache,
+)
+
+
+class TestEnsure:
+    def test_explicit_context_wins_outright(self):
+        ctx = RunContext(seed=5, scale=Scale.SMALL)
+        resolved = RunContext.ensure(ctx, seed=99, scale=Scale.LARGE)
+        assert resolved is ctx
+
+    def test_loose_parameters_promoted(self):
+        obs = Observer()
+        resolved = RunContext.ensure(None, seed=7, scale=Scale.TINY, obs=obs)
+        assert resolved.seed == 7
+        assert resolved.scale is Scale.TINY
+        assert resolved.obs is obs
+
+    def test_defaults_without_anything(self):
+        resolved = RunContext.ensure(None)
+        assert resolved.seed == DEFAULT_SEED
+        assert resolved.scale is Scale.DEFAULT
+        assert resolved.obs is NULL_OBSERVER
+        assert not resolved.faults.enabled
+
+    def test_derive_changes_one_field(self):
+        ctx = RunContext(seed=5)
+        derived = ctx.derive(scale=Scale.SMALL)
+        assert derived.seed == 5
+        assert derived.scale is Scale.SMALL
+        assert ctx.scale is Scale.DEFAULT  # original untouched
+
+    def test_rng_streams_are_deterministic_and_labelled(self):
+        ctx = RunContext(seed=5)
+        assert ctx.rng("a").py.random() == ctx.rng("a").py.random()
+        assert ctx.rng("a").py.random() != ctx.rng("b").py.random()
+
+
+class TestContextTraces:
+    def test_traces_default_to_the_shared_cache(self):
+        assert RunContext().traces is SHARED_TRACE_CACHE
+
+    def test_private_cache_is_isolated(self):
+        private = TraceCache(maxsize=4)
+        ctx = RunContext(seed=3, scale=Scale.SMALL, traces=private)
+        trace = ctx.static_trace()
+        assert ("static", Scale.SMALL, 3) in private
+        assert trace is ctx.static_trace()  # second call hits
+
+    def test_trace_matches_configs_shim(self):
+        from repro.experiments.configs import get_static_trace
+
+        ctx = RunContext(seed=3, scale=Scale.SMALL)
+        assert ctx.static_trace() is get_static_trace(Scale.SMALL, 3)
+
+
+class TestTraceCache:
+    def test_bounded_lru_eviction(self):
+        cache = TraceCache(maxsize=2)
+        builds = []
+
+        def build(tag):
+            builds.append(tag)
+            return tag
+
+        cache._get("k", Scale.TINY, 1, lambda: build(1))
+        cache._get("k", Scale.TINY, 2, lambda: build(2))
+        cache._get("k", Scale.TINY, 1, lambda: build("hit"))  # refresh 1
+        cache._get("k", Scale.TINY, 3, lambda: build(3))  # evicts 2
+        assert ("k", Scale.TINY, 1) in cache
+        assert ("k", Scale.TINY, 2) not in cache
+        assert ("k", Scale.TINY, 3) in cache
+        assert builds == [1, 2, 3]
+        assert cache.hits == 1
+        assert cache.misses == 3
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = TraceCache(maxsize=2)
+        cache._get("k", Scale.TINY, 1, lambda: "x")
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            TraceCache(maxsize=0)
+
+    def test_variants_share_one_bound(self):
+        cache = TraceCache(maxsize=2)
+        cache.static(Scale.SMALL, 3)
+        cache.temporal(Scale.TINY, 1)
+        cache.filtered(Scale.TINY, 1)  # builds from temporal, evicts static
+        assert ("static", Scale.SMALL, 3) not in cache
+        assert len(cache) == 2
+
+
+class TestComponentFactories:
+    def test_build_network_uses_context_seed_and_faults(self):
+        import dataclasses
+
+        from repro.runtime.scale import workload_config
+
+        workload = dataclasses.replace(
+            workload_config(Scale.TINY),
+            num_clients=20,
+            num_files=200,
+            days=2,
+            mainstream_pool_size=40,
+        )
+        from repro.edonkey.network import NetworkConfig
+
+        faults = FaultConfig(loss_rate=0.5)
+        ctx = RunContext(seed=9, scale=Scale.TINY, faults=faults)
+        network = ctx.build_network(NetworkConfig(workload=workload))
+        assert network.faults.enabled  # ambient fault config applied
+
+    def test_explicit_network_faults_override_context(self):
+        import dataclasses
+
+        from repro.edonkey.network import NetworkConfig
+        from repro.runtime.scale import workload_config
+
+        workload = dataclasses.replace(
+            workload_config(Scale.TINY),
+            num_clients=20,
+            num_files=200,
+            days=2,
+            mainstream_pool_size=40,
+        )
+        explicit = FaultConfig(loss_rate=0.25)
+        ctx = RunContext(seed=9, faults=FaultConfig(loss_rate=0.9))
+        network = ctx.build_network(
+            NetworkConfig(workload=workload, faults=explicit)
+        )
+        assert network.config.faults.loss_rate == 0.25
+
+    def test_simulate_search_inherits_seed(self):
+        ctx = RunContext(seed=3, scale=Scale.SMALL)
+        via_ctx = ctx.simulate_search(ctx.static_trace())
+        from repro.core.search import SearchConfig, simulate_search
+
+        direct = simulate_search(ctx.static_trace(), SearchConfig(seed=3))
+        assert via_ctx.hit_rate == direct.hit_rate

@@ -35,6 +35,7 @@ class TestParser:
 
 class TestScaleArg:
     def test_known_scales(self):
+        assert _scale("tiny") is Scale.TINY
         assert _scale("small") is Scale.SMALL
         assert _scale("default") is Scale.DEFAULT
         assert _scale("large") is Scale.LARGE
@@ -125,9 +126,67 @@ class TestExperimentCommand:
         import repro.experiments as experiments
 
         for runner_name in set(EXPERIMENT_IDS.values()):
-            assert hasattr(experiments, runner_name) or runner_name == (
-                "run_flooding_estimate"
-            )
+            assert hasattr(experiments, runner_name)
+
+    def test_id_table_matches_registry(self):
+        from repro.runtime.registry import load_all
+
+        expected = {}
+        for spec in load_all():
+            for name in (spec.name, *spec.aliases):
+                expected[name] = spec.runner_name
+        assert EXPERIMENT_IDS == expected
+
+    def test_list_prints_registry(self, capsys):
+        rc = main(["experiment", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Registered experiments" in out
+        assert "fig18" in out
+        assert "Figure 18" in out
+
+    def test_list_without_id_is_the_default(self, capsys):
+        rc = main(["experiment"])
+        assert rc == 0
+        assert "Registered experiments" in capsys.readouterr().out
+
+    def test_unknown_id_names_valid_choices(self, capsys):
+        rc = main(["experiment", "fig99"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig18" in err  # the valid-name list is part of the message
+
+
+class TestRunAllCommand:
+    def test_subset_writes_manifests_then_skips(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        argv = ["run-all", "--scale", "tiny", "--results-dir", str(results),
+                "--only", "table2", "fig18"]
+        rc = main(argv)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 run, 0 skipped, 0 failed" in out
+        assert (results / "table2.manifest.json").exists()
+        assert (results / "fig18.manifest.json").exists()
+
+        rc = main(argv)
+        assert rc == 0
+        assert "0 run, 2 skipped, 0 failed" in capsys.readouterr().out
+
+    def test_changed_seed_invalidates_the_manifest(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        base = ["run-all", "--scale", "tiny", "--results-dir", str(results),
+                "--only", "table2"]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--seed", "7"]) == 0
+        assert "1 run, 0 skipped" in capsys.readouterr().out
+
+    def test_unknown_only_name_errors(self, tmp_path, capsys):
+        rc = main(["run-all", "--results-dir", str(tmp_path), "--only", "nope"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestAnalyzeCommand:
