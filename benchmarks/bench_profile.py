@@ -3,9 +3,16 @@
 This benchmark establishes the perf trajectory every future PR aims at:
 it runs the protocol-level crawler and the trace-driven semantic search
 under an enabled :class:`~repro.obs.Observer` and writes the resulting
-``repro.metrics/1`` JSON to ``benchmarks/results/bench-profile.json``.
+``repro.metrics/2`` JSON to ``benchmarks/results/bench-profile.json``.
 Comparing that file across commits shows where crawl/search time goes
 (span totals) and whether a change moved work between phases (counters).
+
+The committed baseline is also the reference for CI's
+``metrics-regression`` job, which re-runs this workload at the *same*
+default parameters and gates on ``repro metrics diff`` — counters must
+match exactly, timings within a generous relative tolerance.  Keep the
+script defaults, ``test_profile_baseline``, and the CI job in lockstep:
+all three use clients=60, days=3, the paper seed.
 
 Runs two ways:
 
@@ -14,7 +21,7 @@ Runs two ways:
 - as a script for CI smoke runs and ad-hoc profiling::
 
       PYTHONPATH=src python benchmarks/bench_profile.py \
-          --clients 60 --days 3 --out metrics.json
+          --out metrics.json --trace-out trace.json
 
 Timings are machine-specific; the committed baseline is a *shape*
 reference (which spans dominate, what the counters are at this workload),
@@ -43,15 +50,23 @@ RESULTS_PATH = os.path.join(
 
 LIST_SIZES = (5, 10, 20)
 
+# The canonical baseline workload.  CI's metrics-regression job diffs a
+# fresh run at these exact parameters against the committed baseline
+# with exact counter matching, so changing them requires regenerating
+# ``benchmarks/results/bench-profile.json`` in the same commit.
+BASELINE_CLIENTS = 60
+BASELINE_DAYS = 3
+
 
 def profile_workload(
-    clients: int = 150,
-    days: int = 5,
+    clients: int = BASELINE_CLIENTS,
+    days: int = BASELINE_DAYS,
     seed: int = DEFAULT_SEED,
     list_sizes=LIST_SIZES,
+    tracer=None,
 ) -> RunMetrics:
     """Run the standard crawl + search workload under one observer."""
-    obs = Observer()
+    obs = Observer(tracer=tracer)
     workload = dataclasses.replace(
         workload_config(Scale.SMALL),
         num_clients=clients,
@@ -116,15 +131,25 @@ def main(argv=None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--clients", type=int, default=150)
-    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--clients", type=int, default=BASELINE_CLIENTS)
+    parser.add_argument("--days", type=int, default=BASELINE_DAYS)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
         "--out", default=RESULTS_PATH, help="metrics JSON output path"
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="also write a Chrome trace_event JSON of the workload",
+    )
     args = parser.parse_args(argv)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import TraceRecorder
+
+        tracer = TraceRecorder()
     metrics = profile_workload(
-        clients=args.clients, days=args.days, seed=args.seed
+        clients=args.clients, days=args.days, seed=args.seed, tracer=tracer
     )
     problems = validate_metrics(metrics.to_dict())
     if problems:
@@ -134,6 +159,9 @@ def main(argv=None) -> int:
 
     print(render_profile(metrics))
     print(f"\nWrote {args.out}")
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
+        print(f"Wrote Chrome trace ({len(tracer)} events) to {args.trace_out}")
     return 0
 
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Trace a semantic search: Chrome trace_event output plus per-query
+latency histograms.
+
+Runs the one-hop + two-hop semantic-search simulation with an event
+tracer attached, then:
+
+1. writes a Chrome ``trace_event`` JSON you can open in
+   ``chrome://tracing`` or https://ui.perfetto.dev — spans nest under
+   ``search@N/...`` and every query shows up as an instant event with
+   its outcome (one_hop / two_hop / fallback), hop count, and probe
+   count;
+2. prints the query-lifecycle histograms (hops per request, probes per
+   request, latency per outcome) that the same run exports as
+   ``repro.metrics/2``.
+
+Tracing is observation-only: the simulated results are byte-identical
+with or without the tracer attached.
+
+Run with::
+
+    python examples/trace_a_search.py [--scale small] [--seed N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+
+from repro.core.search import SearchConfig, simulate_search
+from repro.experiments.configs import Scale, workload_config
+from repro.obs import Observer, TraceRecorder, validate_chrome_trace
+from repro.util.tables import format_table, percent
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "default"], default="small")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(tempfile.gettempdir(), "search-trace.json"),
+        help="Chrome trace JSON output path",
+    )
+    args = parser.parse_args()
+
+    scale = Scale.SMALL if args.scale == "small" else Scale.DEFAULT
+    config = workload_config(scale)
+
+    print(f"Generating a {args.scale} workload "
+          f"({config.num_clients} clients, {config.num_files} files)...")
+    generator = SyntheticWorkloadGenerator(config=config, seed=args.seed)
+    static = generator.generate_static()
+    aliases = [
+        p.meta.client_id for p in generator.profiles if p.alias_of is not None
+    ]
+    static = static.without_clients(aliases)
+
+    # -- run the search with an event tracer attached -----------------
+    obs = Observer(tracer=TraceRecorder())
+    with obs.span("search@10"):
+        result = simulate_search(
+            static,
+            SearchConfig(
+                list_size=10,
+                strategy="lru",
+                two_hop=True,
+                track_load=False,
+                seed=args.seed,
+            ),
+            obs=obs,
+        )
+    print(f"Simulated {result.rates.requests} requests, "
+          f"hit rate {percent(result.hit_rate)}.")
+
+    # -- 1. the Chrome trace -------------------------------------------
+    payload = obs.tracer.to_chrome()
+    problems = validate_chrome_trace(payload)
+    assert problems == [], problems
+    obs.tracer.write_chrome(args.out)
+    queries = sum(
+        1 for e in payload["traceEvents"] if e.get("cat") == "query"
+    )
+    print(f"\nWrote Chrome trace to {args.out} "
+          f"({len(obs.tracer)} events, {queries} query instants).")
+    print("Open it in chrome://tracing or https://ui.perfetto.dev")
+
+    # -- 2. the query-lifecycle histograms -----------------------------
+    metrics = obs.report(run={"example": "trace_a_search", "seed": args.seed})
+    rows = []
+    for name in sorted(metrics.histograms):
+        s = metrics.histogram(name).summary()
+        rows.append(
+            (name, int(s["count"]), f"{s['p50']:.4g}", f"{s['p90']:.4g}",
+             f"{s['p99']:.4g}", f"{s['max']:.4g}")
+        )
+    print()
+    print(format_table(
+        ("histogram", "count", "p50", "p90", "p99", "max"),
+        rows,
+        title="Query-lifecycle histograms",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -62,12 +62,18 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="print a timing-span / counter profile after the run",
+        help="print a timing-span / histogram / counter profile after the run",
     )
     parser.add_argument(
         "--metrics-out",
         metavar="PATH",
-        help="write the run's metrics JSON (repro.metrics/1) to PATH",
+        help="write the run's metrics JSON (repro.metrics/2) to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the run to PATH "
+        "(load it in chrome://tracing or Perfetto)",
     )
 
 
@@ -76,11 +82,13 @@ def _observer(args: argparse.Namespace):
 
     Instrumentation is RNG-neutral, so either way the simulated outputs
     are identical; the disabled path just skips all recording.
+    ``--trace-out`` additionally attaches an event tracer.
     """
-    from repro.obs import NULL_OBSERVER, Observer
+    from repro.obs import NULL_OBSERVER, Observer, TraceRecorder
 
-    if args.profile or args.metrics_out:
-        return Observer()
+    trace_out = getattr(args, "trace_out", None)
+    if args.profile or args.metrics_out or trace_out:
+        return Observer(tracer=TraceRecorder() if trace_out else None)
     return NULL_OBSERVER
 
 
@@ -96,6 +104,17 @@ def _emit_observability(args: argparse.Namespace, obs, run_info: dict) -> None:
     if args.metrics_out:
         metrics.write(args.metrics_out)
         print(f"Wrote metrics to {args.metrics_out}")
+    if getattr(args, "trace_out", None) and obs.tracer is not None:
+        obs.tracer.write_chrome(args.trace_out)
+        dropped = (
+            f" ({obs.tracer.dropped} oldest events dropped)"
+            if obs.tracer.dropped
+            else ""
+        )
+        print(
+            f"Wrote Chrome trace ({len(obs.tracer)} events) to "
+            f"{args.trace_out}{dropped}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -342,7 +361,12 @@ def cmd_run_all(args: argparse.Namespace) -> int:
     from repro.runtime import RunContext, Runner, UnknownExperimentError
 
     ctx = RunContext(seed=args.seed, scale=_scale(args.scale))
-    runner = Runner(ctx=ctx, results_dir=args.results_dir, force=args.force)
+    runner = Runner(
+        ctx=ctx,
+        results_dir=args.results_dir,
+        force=args.force,
+        write_metrics=args.metrics_out,
+    )
 
     def report(outcome) -> None:
         if outcome.skipped:
@@ -352,6 +376,16 @@ def cmd_run_all(args: argparse.Namespace) -> int:
         else:
             status = f"FAIL ({outcome.error})"
         print(f"  {outcome.name:<20} {status}")
+        if args.profile and outcome.ok and not outcome.skipped:
+            from repro.obs import RunMetrics, render_profile
+
+            print()
+            print(
+                render_profile(
+                    RunMetrics.from_dict(outcome.manifest.run_metrics)
+                )
+            )
+            print()
 
     print(
         f"Running experiments at scale={args.scale} seed={args.seed} "
@@ -374,6 +408,31 @@ def cmd_run_all(args: argparse.Namespace) -> int:
             print(f"failed: {outcome.name}: {outcome.error}", file=sys.stderr)
         return 1
     return 0
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+
+def cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from repro.obs import RunMetrics, diff_metrics, parse_tolerance_spec
+
+    try:
+        rules = parse_tolerance_spec(args.fail_on)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    loaded = []
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        try:
+            loaded.append(RunMetrics.read(path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {label} {path}: {exc}", file=sys.stderr)
+            return 2
+    baseline, current = loaded
+    diff = diff_metrics(baseline, current, rules)
+    print(diff.render())
+    return 0 if diff.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -545,7 +604,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="run only these registry names",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print each executed experiment's profile after its run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        action="store_true",
+        help="write <name>.metrics.json next to each manifest "
+        "(recorded in the manifest's metrics_file field)",
+    )
     p.set_defaults(func=cmd_run_all, seed=DEFAULT_SEED)
+
+    p = subparsers.add_parser(
+        "metrics", help="inspect and compare metrics files"
+    )
+    metrics_sub = p.add_subparsers(dest="metrics_command", required=True)
+    p = metrics_sub.add_parser(
+        "diff",
+        help="compare two repro.metrics files; non-zero exit on regression",
+    )
+    p.add_argument("baseline", help="baseline metrics JSON")
+    p.add_argument("current", help="current metrics JSON")
+    from repro.obs import DEFAULT_TOLERANCE_SPEC
+
+    p.add_argument(
+        "--fail-on",
+        default=DEFAULT_TOLERANCE_SPEC,
+        metavar="SPEC",
+        help="tolerance spec: comma-separated section[:glob]=rel[:abs] "
+        "clauses (rel 'ignore' skips); unmatched metrics compare exactly "
+        f"(default: {DEFAULT_TOLERANCE_SPEC!r})",
+    )
+    p.set_defaults(func=cmd_metrics_diff)
 
     p = subparsers.add_parser(
         "calibrate", help="check a workload against every paper target"

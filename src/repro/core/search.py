@@ -34,7 +34,7 @@ from repro.core.neighbours import (
     make_strategy,
 )
 from repro.core.requests import generate_requests
-from repro.obs import NULL_OBSERVER, Observer
+from repro.obs import COUNT_BOUNDS, LATENCY_BOUNDS_S, NULL_OBSERVER, Observer
 from repro.trace.model import ClientId, FileId, StaticTrace
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
@@ -166,6 +166,56 @@ class SimulationResult:
         return " ".join(pieces)
 
 
+@dataclass
+class QueryRecord:
+    """One request's lifecycle: issued → probes → resolution.
+
+    This is the per-query event record the eDonkey measurement papers
+    analyse from server logs; here it is produced by the simulator
+    itself (only while profiling) and feeds the query-lifecycle
+    histograms plus, when an event tracer is attached, one structured
+    trace event per request.
+
+    ``two_hop_contacts`` counts second-hop peers actually probed; the
+    two-hop fast path (which answers from the sharer side without
+    enumerating contacts) reports 0.  ``hit_position`` is the 1-based
+    rank of the answering neighbour in the probe order (``None`` unless
+    the one-hop search hit).
+    """
+
+    index: int
+    peer: ClientId
+    file_id: FileId
+    outcome: str  # "one_hop" | "two_hop" | "fallback"
+    hops: int  # one-hop neighbours probed
+    two_hop_contacts: int = 0
+    hit_position: Optional[int] = None
+    probes_lost: int = 0  # probes the fault model ate during this request
+    one_hop_s: float = 0.0
+    two_hop_s: Optional[float] = None
+    fallback_s: Optional[float] = None
+
+    @property
+    def probes(self) -> int:
+        return self.hops + self.two_hop_contacts
+
+    def as_args(self) -> Dict[str, object]:
+        """Flat payload for the Chrome trace event's ``args``."""
+        args: Dict[str, object] = {
+            "index": self.index,
+            "peer": self.peer,
+            "file": self.file_id,
+            "outcome": self.outcome,
+            "hops": self.hops,
+            "probes": self.probes,
+        }
+        if self.hit_position is not None:
+            args["hit_position"] = self.hit_position
+        if self.probes_lost:
+            args["probes_lost"] = self.probes_lost
+        return args
+
+
 class SearchSimulator:
     """Runs the Section 5 methodology over a static trace."""
 
@@ -196,6 +246,9 @@ class SearchSimulator:
         self._strikes: Dict[Tuple[ClientId, ClientId], int] = {}
         self._probes_lost = 0
         self._evictions = 0
+        # Second-hop peers probed by the most recent _query_two_hop call
+        # (0 on the sharer-side fast path) — lifecycle bookkeeping only.
+        self._last_two_hop_contacts = 0
 
     def _check_lists_against_trace(self) -> None:
         """Reject warm-start lists referencing peers absent from the trace.
@@ -321,6 +374,7 @@ class SearchSimulator:
         list; duplicates, ``peer`` itself and already-queried first-hop
         neighbours are skipped.
         """
+        self._last_two_hop_contacts = 0
         sharers = self._sharers_of.get(file_id, ())
         if load is None and len(sharers) * max(1, len(first_hop)) < _fast_path_budget(
             self.config.list_size
@@ -342,11 +396,52 @@ class SearchSimulator:
                 if second in seen:
                     continue
                 seen.add(second)
+                self._last_two_hop_contacts += 1
                 if load is not None:
                     load.record(second)
                 if self.shares(second, file_id):
                     return second
         return None
+
+    # ------------------------------------------------------------------
+    # Query-lifecycle records
+
+    def _record_query(self, record: QueryRecord) -> None:
+        """Fold one request's lifecycle into the distributional metrics.
+
+        Hops/probes/hit-position land in count histograms, phase
+        latencies in latency histograms; with a tracer attached the full
+        structured record becomes one instant event in the run's event
+        stream (the per-query log a server-side capture would analyse).
+        """
+        obs = self.obs
+        obs.hist("search/hops_per_request", record.hops, bounds=COUNT_BOUNDS)
+        obs.hist(
+            "search/probes_per_request", record.probes, bounds=COUNT_BOUNDS
+        )
+        obs.hist(
+            "search/latency/one_hop_s",
+            record.one_hop_s,
+            bounds=LATENCY_BOUNDS_S,
+        )
+        if record.two_hop_s is not None:
+            obs.hist(
+                "search/latency/two_hop_s",
+                record.two_hop_s,
+                bounds=LATENCY_BOUNDS_S,
+            )
+        if record.fallback_s is not None:
+            obs.hist(
+                "search/latency/fallback_s",
+                record.fallback_s,
+                bounds=LATENCY_BOUNDS_S,
+            )
+        if record.hit_position is not None:
+            obs.hist(
+                "search/hit_position", record.hit_position, bounds=COUNT_BOUNDS
+            )
+        if obs.tracer is not None:
+            obs.instant("search/query", args=record.as_args(), cat="query")
 
     # ------------------------------------------------------------------
     # Main loop
@@ -423,29 +518,51 @@ class SearchSimulator:
             is_rare = rare_rates is not None and file_id in rare_files
             if is_rare:
                 rare_rates.requests += 1
+            lost_before = self._probes_lost if profiled else 0
+            record: Optional[QueryRecord] = None
             started = clock() if profiled else 0.0
             answerer, first_hop = self._query_one_hop(
                 peer, file_id, load_sink, online=online, lost=lost
             )
             if profiled:
-                obs.record_span("search/one_hop", clock() - started)
+                one_hop_s = clock() - started
+                obs.record_span("search/one_hop", one_hop_s, start_s=started)
+                record = QueryRecord(
+                    index=rates.requests,
+                    peer=peer,
+                    file_id=file_id,
+                    outcome="fallback",
+                    hops=len(first_hop),
+                    one_hop_s=one_hop_s,
+                )
             if answerer is not None:
                 rates.hits += 1
                 rates.one_hop_hits += 1
                 if is_rare:
                     rare_rates.hits += 1
                     rare_rates.one_hop_hits += 1
+                if record is not None:
+                    record.outcome = "one_hop"
+                    # The answering neighbour is always the last one probed.
+                    record.hit_position = len(first_hop)
             elif config.two_hop:
                 started = clock() if profiled else 0.0
                 answerer = self._query_two_hop(peer, file_id, first_hop, load_sink)
                 if profiled:
-                    obs.record_span("search/two_hop", clock() - started)
+                    two_hop_s = clock() - started
+                    obs.record_span(
+                        "search/two_hop", two_hop_s, start_s=started
+                    )
+                    record.two_hop_s = two_hop_s
+                    record.two_hop_contacts = self._last_two_hop_contacts
                 if answerer is not None:
                     rates.hits += 1
                     rates.two_hop_hits += 1
                     if is_rare:
                         rare_rates.hits += 1
                         rare_rates.two_hop_hits += 1
+                    if record is not None:
+                        record.outcome = "two_hop"
 
             if answerer is None:
                 # Fall-back search (server or flooding) picks a source
@@ -455,7 +572,14 @@ class SearchSimulator:
                     self.rng.py.randrange(len(online_sharers))
                 ]
                 if profiled:
-                    obs.record_span("search/fallback", clock() - started)
+                    fallback_s = clock() - started
+                    obs.record_span(
+                        "search/fallback", fallback_s, start_s=started
+                    )
+                    record.fallback_s = fallback_s
+            if record is not None:
+                record.probes_lost = self._probes_lost - lost_before
+                self._record_query(record)
 
             self._strategy_for(peer).record_upload(
                 answerer, popularity=len(sharers)
@@ -466,7 +590,9 @@ class SearchSimulator:
             self._add_to_cache(peer, file_id)
 
         if profiled:
-            obs.record_span("search/request_loop", clock() - run_start)
+            obs.record_span(
+                "search/request_loop", clock() - run_start, start_s=run_start
+            )
             obs.merge_counters(
                 {
                     "requests": rates.requests,

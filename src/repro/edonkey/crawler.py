@@ -316,6 +316,11 @@ class Crawler:
             with obs.span("refresh_servers"):
                 self.refresh_server_list()
             for day_offset in range(days):
+                obs.instant(
+                    "day_start",
+                    args={"day": day_offset, "network_day": self.network.day},
+                    cat="crawl",
+                )
                 with obs.span("day"):
                     if day_offset % self.config.refresh_users_every == 0:
                         with obs.span("sweep_nicknames"):

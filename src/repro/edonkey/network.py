@@ -138,6 +138,7 @@ class Network:
         self.stats.count(message)
         if self.obs.enabled:
             self.obs.count("network/server_hops")
+            self.obs.instant(type(message).__name__, cat="hop")
         server = self.servers.get(server_id)
         if server is None:
             return None
@@ -188,6 +189,7 @@ class Network:
         self.stats.count(message)
         if self.obs.enabled:
             self.obs.count("network/client_hops")
+            self.obs.instant(type(message).__name__, cat="hop")
         client = self.clients.get(client_id)
         if client is None or client.config.firewalled:
             return None
@@ -200,6 +202,7 @@ class Network:
         self.stats.count(message)
         if self.obs.enabled:
             self.obs.count("network/callback_hops")
+            self.obs.instant(type(message).__name__, cat="hop")
         client = self.clients.get(client_id)
         if client is None or client_id in self.offline:
             return None

@@ -1,17 +1,37 @@
-"""Lightweight observability: timing spans, counters, run metrics.
+"""Observability: timing spans, histograms, event tracing, run metrics.
 
-The subsystem has two halves:
+The subsystem has four parts:
 
 - :mod:`repro.obs.spans` — the :class:`Observer`, a hierarchical
-  span/counter recorder that hot layers (crawler, network, search) carry.
-  Disabled (the default) it is a near-free no-op and touches no RNG, so
-  seeded runs are byte-identical with observability on or off.
+  span/counter/histogram recorder that hot layers (crawler, network,
+  search) carry.  Disabled (the default) it is a near-free no-op and
+  touches no RNG, so seeded runs are byte-identical with observability
+  on or off.
+- :mod:`repro.obs.hist` — :class:`Histogram`, fixed log-spaced buckets
+  with p50/p90/p99 summaries, for the distributional metrics (hops per
+  query, phase latencies) scalar aggregates cannot express.
+- :mod:`repro.obs.events` — :class:`TraceRecorder`, an opt-in bounded
+  ring of structured events exportable as Chrome ``trace_event`` JSON
+  (``--trace-out``, loadable in ``chrome://tracing``/Perfetto).
 - :mod:`repro.obs.report` — :class:`RunMetrics`, the JSON-serialisable
-  report an :class:`Observer` produces, plus its schema validator and the
-  human-readable profile renderer behind the CLI's ``--profile`` flag.
+  report (schema ``repro.metrics/2``; ``/1`` still loads) an
+  :class:`Observer` produces, plus its validator and the ``--profile``
+  renderer — and :mod:`repro.obs.diff`, the metrics diff/regression
+  gate behind ``repro metrics diff``.
 """
 
+from repro.obs.diff import (
+    DEFAULT_TOLERANCE_SPEC,
+    MetricsDiff,
+    ToleranceRule,
+    diff_metrics,
+    parse_tolerance_spec,
+)
+from repro.obs.events import TraceRecorder, validate_chrome_trace
+from repro.obs.hist import COUNT_BOUNDS, LATENCY_BOUNDS_S, Histogram, log_bounds
 from repro.obs.report import (
+    ACCEPTED_SCHEMAS,
+    SCHEMA_V1,
     SCHEMA_VERSION,
     RunMetrics,
     render_profile,
@@ -20,11 +40,24 @@ from repro.obs.report import (
 from repro.obs.spans import NULL_OBSERVER, Observer, SpanStat
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
+    "COUNT_BOUNDS",
+    "DEFAULT_TOLERANCE_SPEC",
+    "Histogram",
+    "LATENCY_BOUNDS_S",
+    "MetricsDiff",
     "NULL_OBSERVER",
     "Observer",
     "RunMetrics",
+    "SCHEMA_V1",
     "SCHEMA_VERSION",
     "SpanStat",
+    "ToleranceRule",
+    "TraceRecorder",
+    "diff_metrics",
+    "log_bounds",
+    "parse_tolerance_spec",
     "render_profile",
+    "validate_chrome_trace",
     "validate_metrics",
 ]

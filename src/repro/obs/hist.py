@@ -1,0 +1,152 @@
+"""Fixed-bucket histograms for distributional run metrics.
+
+The paper's core results are distributions (per-query hit rates, load
+skew across peers), and scalar span aggregates cannot say whether a p99
+moved while the mean stayed put.  A :class:`Histogram` keeps a fixed
+ladder of log-spaced bucket upper bounds plus count/sum/min/max, so
+memory is constant regardless of how many values are recorded and two
+histograms from different runs are directly comparable bucket by
+bucket.
+
+Bucketing: value ``v`` lands in the first bucket whose upper bound is
+``>= v`` (``bisect_left``); values above the last bound land in a final
+overflow bucket.  Percentiles are estimated by linear interpolation
+inside the owning bucket, clamped to the observed min/max — deterministic
+for a given sequence of values, and exact at the bucket boundaries.
+
+Two standard ladders cover the instrumented quantities:
+
+- :data:`LATENCY_BOUNDS_S` — 1 µs .. 16 s, doubling (25 buckets), for
+  wall-clock phase latencies;
+- :data:`COUNT_BOUNDS` — 1 .. 4096, doubling (13 buckets), for per-query
+  hop/probe counts and list positions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+
+def log_bounds(lo: float, hi: float, growth: float = 2.0) -> Tuple[float, ...]:
+    """Log-spaced bucket upper bounds: ``lo, lo*growth, ...`` up to ``hi``."""
+    if lo <= 0:
+        raise ValueError(f"lo must be > 0, got {lo}")
+    if hi <= lo:
+        raise ValueError(f"hi must be > lo, got hi={hi} lo={lo}")
+    if growth <= 1:
+        raise ValueError(f"growth must be > 1, got {growth}")
+    bounds: List[float] = []
+    bound = lo
+    while bound < hi:
+        bounds.append(bound)
+        bound *= growth
+    bounds.append(bound)
+    return tuple(bounds)
+
+
+#: Phase-latency ladder: 1 µs .. 16 s, doubling.
+LATENCY_BOUNDS_S = log_bounds(1e-6, 16.0)
+
+#: Per-query count ladder (hops, probes, hit positions): 1 .. 4096, doubling.
+COUNT_BOUNDS = log_bounds(1.0, 4096.0)
+
+
+class Histogram:
+    """Fixed log-spaced buckets with count/sum/min/max and percentiles."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BOUNDS_S) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("bounds must be non-empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bounds must be strictly increasing")
+        self.bounds = bounds
+        # One bucket per bound plus a final overflow bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``), clamped to min/max."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if index >= len(self.bounds):
+                    return self.max
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers the profile renderer and diff gate use."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.max,
+        }
+
+    # ------------------------------------------------------------------
+    # Serialisation (the ``histograms`` section of ``repro.metrics/2``)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": [float(c) for c in self.counts],
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Histogram":
+        hist = cls(payload["bounds"])
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"counts must have {len(hist.counts)} entries, "
+                f"got {len(counts)}"
+            )
+        hist.counts = counts
+        hist.count = int(payload["count"])
+        hist.total = float(payload["sum"])
+        hist.min = float(payload["min"])
+        hist.max = float(payload["max"])
+        return hist

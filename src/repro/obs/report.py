@@ -2,18 +2,30 @@
 
 A :class:`RunMetrics` is what an :class:`~repro.obs.spans.Observer`
 freezes into at the end of a run; the CLI's ``--metrics-out PATH`` writes
-one per invocation and ``benchmarks/bench_profile.py`` commits one as the
-perf-trajectory baseline.
+one per invocation, ``benchmarks/bench_profile.py`` commits one as the
+perf-trajectory baseline, and ``repro metrics diff`` compares two of
+them (see :mod:`repro.obs.diff`).
 
-Schema (``repro.metrics/1``) — a single JSON object:
+Schema (``repro.metrics/2``) — a single JSON object:
 
-- ``schema``   — the literal version string;
-- ``run``      — free-form run identity (command, seed, scale, ...);
+- ``schema``     — the literal version string;
+- ``run``        — free-form run identity (command, seed, scale, ...);
     values must be JSON scalars;
-- ``spans``    — ``{path: {count, total_s, min_s, max_s}}`` — hierarchical
-    span paths are ``/``-joined;
-- ``counters`` — ``{name: number}``;
-- ``gauges``   — ``{name: number}``.
+- ``spans``      — ``{path: {count, total_s, min_s, max_s}}`` —
+    hierarchical span paths are ``/``-joined;
+- ``counters``   — ``{name: number}``;
+- ``gauges``     — ``{name: number}``;
+- ``histograms`` — ``{name: {bounds, counts, count, sum, min, max}}``
+    where ``bounds`` are the strictly increasing bucket upper bounds and
+    ``counts`` has one entry per bound plus a final overflow bucket
+    (see :class:`~repro.obs.hist.Histogram`).
+
+Version ``/1`` is the same object without the ``histograms`` section;
+the reader still accepts it (such files simply carry no histograms), so
+every pre-histogram metrics file on disk keeps loading.  All numbers
+must be finite: serialisation uses ``allow_nan=False`` (standard JSON
+has no ``Infinity``/``NaN``) and :func:`validate_metrics` reports
+non-finite values as problems.
 
 :func:`validate_metrics` checks a parsed payload against this shape and
 returns a list of problems (empty = valid); :meth:`RunMetrics.from_dict`
@@ -23,12 +35,20 @@ raises on the first problem, so a round-trip is also a validation.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-SCHEMA_VERSION = "repro.metrics/1"
+from repro.obs.hist import Histogram
+
+SCHEMA_VERSION = "repro.metrics/2"
+SCHEMA_V1 = "repro.metrics/1"
+
+#: Schemas :func:`validate_metrics` and the readers accept.
+ACCEPTED_SCHEMAS = (SCHEMA_VERSION, SCHEMA_V1)
 
 _SPAN_FIELDS = ("count", "total_s", "min_s", "max_s")
+_HIST_SCALAR_FIELDS = ("count", "sum", "min", "max")
 
 
 @dataclass
@@ -39,19 +59,36 @@ class RunMetrics:
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, object]] = field(default_factory=dict)
     schema: str = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "schema": self.schema,
             "run": dict(self.run),
             "spans": {path: dict(stat) for path, stat in self.spans.items()},
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
         }
+        if self.schema != SCHEMA_V1:
+            # A loaded /1 file round-trips byte-compatibly; /2 always
+            # carries the section, even when empty.
+            payload["histograms"] = {
+                name: dict(hist) for name, hist in self.histograms.items()
+            }
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        # allow_nan=False: standard JSON has no Infinity/NaN, and a
+        # non-finite metric is a recording bug that must fail loudly
+        # here, not in whatever later consumes the file.
+        return json.dumps(
+            self.to_dict(), indent=indent, sort_keys=True, allow_nan=False
+        )
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, rehydrated (percentiles become available)."""
+        return Histogram.from_dict(self.histograms[name])
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunMetrics":
@@ -68,6 +105,10 @@ class RunMetrics:
             },
             counters={k: float(v) for k, v in payload["counters"].items()},
             gauges={k: float(v) for k, v in payload["gauges"].items()},
+            histograms={
+                name: dict(hist)
+                for name, hist in payload.get("histograms", {}).items()
+            },
             schema=payload["schema"],
         )
 
@@ -89,35 +130,114 @@ def _is_number(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _is_finite_number(value: object) -> bool:
+    return _is_number(value) and math.isfinite(value)
+
+
+def _describe_number(value: object) -> str:
+    if _is_number(value) and not math.isfinite(value):
+        return f"must be finite, got {value!r}"
+    return "must be a number"
+
+
+def _validate_histogram(name: str, hist: object, problems: List[str]) -> None:
+    if not isinstance(hist, dict):
+        problems.append(f"histograms[{name!r}] must be an object")
+        return
+    bounds = hist.get("bounds")
+    counts = hist.get("counts")
+    if not isinstance(bounds, list) or not bounds:
+        problems.append(
+            f"histograms[{name!r}] missing non-empty array 'bounds'"
+        )
+        bounds = None
+    elif not all(_is_finite_number(b) for b in bounds):
+        problems.append(f"histograms[{name!r}] bounds must be finite numbers")
+        bounds = None
+    elif any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        problems.append(
+            f"histograms[{name!r}] bounds must be strictly increasing"
+        )
+    if not isinstance(counts, list):
+        problems.append(f"histograms[{name!r}] missing array 'counts'")
+        counts = None
+    elif not all(_is_finite_number(c) and c >= 0 for c in counts):
+        problems.append(
+            f"histograms[{name!r}] counts must be non-negative numbers"
+        )
+        counts = None
+    if bounds is not None and counts is not None:
+        if len(counts) != len(bounds) + 1:
+            problems.append(
+                f"histograms[{name!r}] needs {len(bounds) + 1} buckets "
+                f"(one per bound plus overflow), got {len(counts)}"
+            )
+    for field_name in _HIST_SCALAR_FIELDS:
+        value = hist.get(field_name)
+        if not _is_finite_number(value):
+            problems.append(
+                f"histograms[{name!r}].{field_name} "
+                f"{_describe_number(value)}"
+            )
+    if (
+        counts is not None
+        and _is_finite_number(hist.get("count"))
+        and sum(counts) != hist["count"]
+    ):
+        problems.append(
+            f"histograms[{name!r}] count {hist['count']:g} disagrees with "
+            f"bucket sum {sum(counts):g}"
+        )
+    extras = set(hist) - {"bounds", "counts", *_HIST_SCALAR_FIELDS}
+    if extras:
+        problems.append(
+            f"histograms[{name!r}] has unknown fields {sorted(extras)}"
+        )
+
+
 def validate_metrics(payload: object) -> List[str]:
-    """Check a parsed JSON payload against the ``repro.metrics/1`` schema.
+    """Check a parsed JSON payload against ``repro.metrics/2`` (or ``/1``).
 
     Returns a list of human-readable problems; an empty list means the
-    payload is valid.
+    payload is valid.  Non-finite numbers anywhere are problems — they
+    cannot be represented in standard JSON and always indicate a
+    recording bug upstream.
     """
     problems: List[str] = []
     if not isinstance(payload, dict):
         return [f"payload must be an object, got {type(payload).__name__}"]
-    if payload.get("schema") != SCHEMA_VERSION:
+    schema = payload.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
         problems.append(
-            f"schema must be {SCHEMA_VERSION!r}, got {payload.get('schema')!r}"
+            f"schema must be one of {list(ACCEPTED_SCHEMAS)}, got {schema!r}"
         )
     for section in ("run", "spans", "counters", "gauges"):
         if not isinstance(payload.get(section), dict):
             problems.append(f"missing or non-object section {section!r}")
+    histograms = payload.get("histograms", {})
+    if not isinstance(histograms, dict):
+        problems.append("section 'histograms' must be an object")
+    elif schema == SCHEMA_V1 and histograms:
+        problems.append(
+            f"histograms require schema {SCHEMA_VERSION!r}, "
+            f"payload declares {SCHEMA_V1!r}"
+        )
     if problems:
         return problems
     for key, value in payload["run"].items():
         if value is not None and not isinstance(value, (str, int, float, bool)):
             problems.append(f"run[{key!r}] must be a JSON scalar")
+        elif _is_number(value) and not math.isfinite(value):
+            problems.append(f"run[{key!r}] must be finite, got {value!r}")
     for path, stat in payload["spans"].items():
         if not isinstance(stat, dict):
             problems.append(f"spans[{path!r}] must be an object")
             continue
         for field_name in _SPAN_FIELDS:
-            if not _is_number(stat.get(field_name)):
+            value = stat.get(field_name)
+            if not _is_finite_number(value):
                 problems.append(
-                    f"spans[{path!r}] missing numeric field {field_name!r}"
+                    f"spans[{path!r}].{field_name} {_describe_number(value)}"
                 )
         extras = set(stat) - set(_SPAN_FIELDS)
         if extras:
@@ -126,8 +246,12 @@ def validate_metrics(payload: object) -> List[str]:
             )
     for section in ("counters", "gauges"):
         for name, value in payload[section].items():
-            if not _is_number(value):
-                problems.append(f"{section}[{name!r}] must be a number")
+            if not _is_finite_number(value):
+                problems.append(
+                    f"{section}[{name!r}] {_describe_number(value)}"
+                )
+    for name, hist in histograms.items():
+        _validate_histogram(name, hist, problems)
     return problems
 
 
@@ -143,10 +267,11 @@ def render_profile(metrics: RunMetrics, max_rows: int = 40) -> str:
         lines.append(f"run: {run_bits}")
     if metrics.spans:
         rows = []
-        # Widest first so the hot phases lead; hierarchy stays readable
-        # because children carry their parents' path prefix.
+        # Widest first so the hot phases lead (path breaks ties, keeping
+        # the order stable); hierarchy stays readable because children
+        # carry their parents' path prefix.
         ordered = sorted(
-            metrics.spans.items(), key=lambda kv: -kv[1]["total_s"]
+            metrics.spans.items(), key=lambda kv: (-kv[1]["total_s"], kv[0])
         )
         for path, stat in ordered[:max_rows]:
             rows.append(
@@ -163,6 +288,27 @@ def render_profile(metrics: RunMetrics, max_rows: int = 40) -> str:
                 ("span", "count", "total ms", "mean ms", "max ms"),
                 rows,
                 title="timing spans",
+            )
+        )
+    if metrics.histograms:
+        rows = []
+        for name in sorted(metrics.histograms):
+            summary = metrics.histogram(name).summary()
+            rows.append(
+                (
+                    name,
+                    int(summary["count"]),
+                    f"{summary['p50']:g}",
+                    f"{summary['p90']:g}",
+                    f"{summary['p99']:g}",
+                    f"{summary['max']:g}",
+                )
+            )
+        lines.append(
+            format_table(
+                ("histogram", "count", "p50", "p90", "p99", "max"),
+                rows,
+                title="histograms",
             )
         )
     if metrics.counters:

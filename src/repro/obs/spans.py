@@ -9,11 +9,19 @@ An :class:`Observer` is the single recording surface a component needs:
   into the same aggregate, for hot loops where a context manager per
   iteration would be too chatty;
 - ``obs.count("browse_attempts")`` / ``obs.gauge("delivery_rate", 0.98)``
-  keep named scalars.
+  keep named scalars;
+- ``obs.hist("search/hops_per_request", hops, bounds=COUNT_BOUNDS)``
+  feeds a fixed-bucket :class:`~repro.obs.hist.Histogram`, for the
+  distributional metrics scalar aggregates cannot express;
+- ``obs.instant("day_start", args={"day": 3})`` marks a point on an
+  attached event tracer (a no-op without one).
 
 Spans are *aggregated*, not logged: each path keeps count/total/min/max,
 so memory stays bounded over arbitrarily long runs — the always-on
-counters a long-running capture needs.
+counters a long-running capture needs.  Event-level capture is opt-in:
+attach a :class:`~repro.obs.events.TraceRecorder` (``tracer=``) and
+every closed span additionally emits one Chrome ``trace_event`` complete
+event into its bounded ring.
 
 Determinism contract: an Observer never draws randomness and never feeds
 back into simulation state, so enabling it cannot perturb a seeded run.
@@ -26,7 +34,9 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.hist import Histogram
 
 
 @dataclass
@@ -93,7 +103,7 @@ class _Span:
 
     def __exit__(self, *exc) -> bool:
         elapsed = self._observer.clock() - self._start
-        self._observer._pop(elapsed)
+        self._observer._pop(elapsed, self._start)
         return False
 
 
@@ -101,21 +111,36 @@ class Observer:
     """Span/counter recorder carried by the instrumented layers.
 
     ``clock`` is injectable for tests; it defaults to
-    :func:`time.perf_counter` (monotonic, high resolution).
+    :func:`time.perf_counter` (monotonic, high resolution).  ``tracer``
+    optionally attaches a :class:`~repro.obs.events.TraceRecorder`:
+    every closed span then also emits an event into the tracer's ring,
+    and :meth:`instant` becomes live.
     """
 
-    __slots__ = ("enabled", "clock", "span_stats", "counters", "gauges", "_stack")
+    __slots__ = (
+        "enabled",
+        "clock",
+        "tracer",
+        "span_stats",
+        "counters",
+        "gauges",
+        "histograms",
+        "_stack",
+    )
 
     def __init__(
         self,
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        tracer=None,
     ) -> None:
         self.enabled = enabled
         self.clock = clock
+        self.tracer = tracer
         self.span_stats: Dict[str, SpanStat] = {}
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self._stack: List[str] = []
 
     # ------------------------------------------------------------------
@@ -127,11 +152,21 @@ class Observer:
             return _NULL_SPAN
         return _Span(self, name)
 
-    def record_span(self, name: str, elapsed_s: float) -> None:
-        """Fold a pre-measured duration into ``name``'s aggregate."""
+    def record_span(
+        self, name: str, elapsed_s: float, start_s: Optional[float] = None
+    ) -> None:
+        """Fold a pre-measured duration into ``name``'s aggregate.
+
+        Hot loops that time with explicit clock reads pass the start
+        instant too, so an attached tracer can place the event on the
+        timeline; without ``start_s`` only the aggregate is fed.
+        """
         if not self.enabled:
             return
-        self._stat_for(self._path(name)).add(elapsed_s)
+        path = self._path(name)
+        self._stat_for(path).add(elapsed_s)
+        if self.tracer is not None and start_s is not None:
+            self.tracer.complete(path, start_s, elapsed_s)
 
     def _path(self, name: str) -> str:
         if not self._stack:
@@ -147,10 +182,27 @@ class Observer:
     def _push(self, name: str) -> None:
         self._stack.append(name)
 
-    def _pop(self, elapsed_s: float) -> None:
+    def _pop(self, elapsed_s: float, start_s: float) -> None:
         path = "/".join(self._stack)
         self._stack.pop()
         self._stat_for(path).add(elapsed_s)
+        if self.tracer is not None:
+            self.tracer.complete(path, start_s, elapsed_s)
+
+    def instant(
+        self,
+        name: str,
+        args: Optional[Dict[str, object]] = None,
+        cat: str = "instant",
+    ) -> None:
+        """Mark a point event on the attached tracer (no aggregation).
+
+        The name is joined under the current span path, so a message hop
+        recorded during a browse shows up as
+        ``crawl/day/browse/BrowseRequest``."""
+        if not self.enabled or self.tracer is None:
+            return
+        self.tracer.instant(self._path(name), cat=cat, args=args)
 
     # ------------------------------------------------------------------
     # Counters / gauges
@@ -164,6 +216,28 @@ class Observer:
         if not self.enabled:
             return
         self.gauges[name] = float(value)
+
+    def hist(
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record ``value`` into the named histogram.
+
+        The histogram is created on first use with ``bounds`` (or the
+        default latency ladder); later calls fold into the existing one
+        and their ``bounds`` argument is ignored, so call sites can pass
+        the constant unconditionally.
+        """
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = (
+                Histogram(bounds) if bounds is not None else Histogram()
+            )
+        hist.record(value)
 
     def merge_counters(
         self, values: Mapping[str, float], prefix: str = ""
@@ -195,6 +269,10 @@ class Observer:
             },
             counters=dict(sorted(self.counters.items())),
             gauges=dict(sorted(self.gauges.items())),
+            histograms={
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
         )
 
 

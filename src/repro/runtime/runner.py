@@ -16,7 +16,11 @@ Schema (``repro.manifest/1``) — a single JSON object:
 - ``wall_time_s`` — wall-clock duration of the run;
 - ``metrics``     — the experiment's headline scalars
   (:attr:`ExperimentResult.metrics`);
-- ``run_metrics`` — the full ``repro.metrics/1`` observability blob.
+- ``run_metrics`` — the full ``repro.metrics/2`` observability blob;
+- ``metrics_file`` — optional: the standalone metrics JSON written next
+  to this manifest (``Runner(write_metrics=True)``, the CLI's
+  ``repro run-all --metrics-out``), for feeding ``repro metrics diff``
+  without extracting the embedded blob.
 
 ``Runner.run`` skips an experiment when its manifest already exists with a
 matching ``config_hash`` (``force`` re-runs anyway), which is what makes
@@ -34,7 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.obs import Observer, validate_metrics
+from repro.obs import Observer, RunMetrics, validate_metrics
 from repro.runtime import registry
 from repro.runtime.context import RunContext
 
@@ -59,10 +63,11 @@ class RunManifest:
     wall_time_s: float
     metrics: Dict[str, float] = field(default_factory=dict)
     run_metrics: Dict[str, object] = field(default_factory=dict)
+    metrics_file: Optional[str] = None
     schema: str = MANIFEST_SCHEMA
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "schema": self.schema,
             "experiment": self.experiment,
             "artefact": self.artefact,
@@ -73,6 +78,9 @@ class RunManifest:
             "metrics": dict(self.metrics),
             "run_metrics": dict(self.run_metrics),
         }
+        if self.metrics_file is not None:
+            payload["metrics_file"] = self.metrics_file
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -93,6 +101,7 @@ class RunManifest:
             wall_time_s=float(payload["wall_time_s"]),
             metrics={k: float(v) for k, v in payload["metrics"].items()},
             run_metrics=dict(payload["run_metrics"]),
+            metrics_file=payload.get("metrics_file"),
             schema=payload["schema"],
         )
 
@@ -115,7 +124,7 @@ def validate_manifest(payload: object) -> List[str]:
 
     Returns human-readable problems; empty means valid.  The embedded
     ``run_metrics`` blob is validated against its own schema
-    (``repro.metrics/1``) when non-empty.
+    (``repro.metrics/2``, or legacy ``/1``) when non-empty.
     """
     problems: List[str] = []
     if not isinstance(payload, dict):
@@ -131,6 +140,9 @@ def validate_manifest(payload: object) -> List[str]:
         problems.append("missing or non-numeric field 'seed'")
     if not _is_number(payload.get("wall_time_s")):
         problems.append("missing or non-numeric field 'wall_time_s'")
+    metrics_file = payload.get("metrics_file")
+    if metrics_file is not None and not isinstance(metrics_file, str):
+        problems.append("'metrics_file' must be a string when present")
     if not isinstance(payload.get("metrics"), dict):
         problems.append("missing or non-object section 'metrics'")
     else:
@@ -170,10 +182,15 @@ class Runner:
         ctx: Optional[RunContext] = None,
         results_dir="results",
         force: bool = False,
+        write_metrics: bool = False,
     ) -> None:
         self.ctx = ctx if ctx is not None else RunContext()
         self.results_dir = Path(results_dir)
         self.force = force
+        #: When set, each executed experiment also writes its
+        #: observability blob as ``<name>.metrics.json`` next to the
+        #: manifest (which records the filename in ``metrics_file``).
+        self.write_metrics = write_metrics
 
     # ------------------------------------------------------------------
     # Paths and hashing
@@ -183,6 +200,9 @@ class Runner:
 
     def csv_path(self, name: str) -> Path:
         return self.results_dir / f"{name}.csv"
+
+    def metrics_path(self, name: str) -> Path:
+        return self.results_dir / f"{name}.metrics.json"
 
     def expected_hash(self, spec, overrides: Dict[str, object]) -> str:
         return config_hash(
@@ -219,14 +239,19 @@ class Runner:
         with run_obs.span(f"experiment/{spec.name}"):
             result = spec.run(ctx=run_ctx, **overrides)
         wall = time.perf_counter() - start
-        blob = run_obs.report(
+        report: RunMetrics = run_obs.report(
             run={
                 "command": "run-all",
                 "experiment": spec.name,
                 "seed": run_ctx.seed,
                 "scale": run_ctx.scale.value,
             }
-        ).to_dict()
+        )
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        metrics_file = None
+        if self.write_metrics:
+            metrics_file = self.metrics_path(spec.name).name
+            report.write(str(self.metrics_path(spec.name)))
         manifest = RunManifest(
             experiment=spec.name,
             artefact=spec.artefact,
@@ -235,9 +260,9 @@ class Runner:
             scale=run_ctx.scale.value,
             wall_time_s=wall,
             metrics=dict(getattr(result, "metrics", {}) or {}),
-            run_metrics=blob,
+            run_metrics=report.to_dict(),
+            metrics_file=metrics_file,
         )
-        self.results_dir.mkdir(parents=True, exist_ok=True)
         manifest.write(path)
         if hasattr(result, "write_csv"):
             result.write_csv(self.csv_path(spec.name))

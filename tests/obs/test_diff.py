@@ -1,0 +1,149 @@
+"""Tests for the metrics diff / perf-regression gate."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TOLERANCE_SPEC,
+    Histogram,
+    Observer,
+    RunMetrics,
+    ToleranceRule,
+    diff_metrics,
+    parse_tolerance_spec,
+)
+
+
+def sample_metrics(**overrides) -> RunMetrics:
+    obs = Observer(clock=iter(range(100)).__next__)
+    with obs.span("crawl"):
+        pass
+    obs.count("search/requests", overrides.get("requests", 100))
+    obs.gauge("search/hit_rate", overrides.get("hit_rate", 0.9))
+    hist = Histogram(bounds=(1.0, 2.0, 4.0))
+    for _ in range(overrides.get("hist_n", 5)):
+        hist.record(1.5)
+    metrics = obs.report(run={"command": "test"})
+    metrics.histograms["search/hops"] = hist.as_dict()
+    return metrics
+
+
+DEFAULT_RULES = parse_tolerance_spec(DEFAULT_TOLERANCE_SPEC)
+
+
+class TestSpecParsing:
+    def test_default_spec_parses(self):
+        rules = parse_tolerance_spec(DEFAULT_TOLERANCE_SPEC)
+        assert [r.section for r in rules] == [
+            "counters", "gauges", "spans", "histograms", "histograms"
+        ]
+
+    def test_glob_and_abs_floor(self):
+        (rule,) = parse_tolerance_spec("spans:crawl/*=0.5:0.05")
+        assert rule.pattern == "crawl/*"
+        assert rule.rel == 0.5
+        assert rule.abs_floor == 0.05
+        assert rule.matches("spans", "crawl/day")
+        assert not rule.matches("spans", "search/one_hop")
+        assert not rule.matches("counters", "crawl/day")
+
+    def test_ignore_keyword(self):
+        (rule,) = parse_tolerance_spec("gauges=ignore")
+        assert rule.allows(0.0, 1e9)
+
+    def test_rejects_missing_equals(self):
+        with pytest.raises(ValueError, match="selector=tolerance"):
+            parse_tolerance_spec("counters")
+
+    def test_rejects_unknown_section(self):
+        with pytest.raises(ValueError, match="unknown section"):
+            parse_tolerance_spec("timers=0")
+
+    def test_rejects_non_numeric_tolerance(self):
+        with pytest.raises(ValueError, match="rel"):
+            parse_tolerance_spec("counters=lots")
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            parse_tolerance_spec("counters=-1")
+
+    def test_later_rules_override(self):
+        rules = parse_tolerance_spec(
+            "counters=0,counters:search/*=0.5"
+        )
+        base = sample_metrics()
+        cur = sample_metrics(requests=120)  # +20%, within the glob's 50%
+        assert diff_metrics(base, cur, rules).ok
+
+
+class TestToleranceRule:
+    def test_exact_by_default(self):
+        rule = ToleranceRule(section="counters")
+        assert rule.allows(5.0, 5.0)
+        assert not rule.allows(5.0, 5.1)
+
+    def test_relative_and_absolute_floor(self):
+        rule = ToleranceRule(section="spans", rel=0.5, abs_floor=0.05)
+        assert rule.allows(1.0, 1.49)
+        assert not rule.allows(1.0, 1.51)
+        # Near-zero baseline: the absolute floor soaks up the noise.
+        assert rule.allows(0.001, 0.04)
+
+
+class TestDiff:
+    def test_identical_metrics_pass(self):
+        diff = diff_metrics(sample_metrics(), sample_metrics(), DEFAULT_RULES)
+        assert diff.ok
+        assert diff.regressions == []
+        assert "all metrics within tolerance" in diff.render()
+
+    def test_counter_change_is_a_regression(self):
+        diff = diff_metrics(
+            sample_metrics(), sample_metrics(requests=101), DEFAULT_RULES
+        )
+        assert not diff.ok
+        names = [e.qualified for e in diff.regressions]
+        assert "counters/search/requests" in names
+
+    def test_histogram_count_change_is_a_regression(self):
+        diff = diff_metrics(
+            sample_metrics(), sample_metrics(hist_n=6), DEFAULT_RULES
+        )
+        assert any(
+            e.metric == "search/hops:count" for e in diff.regressions
+        )
+
+    def test_missing_metric_is_a_regression(self):
+        base = sample_metrics()
+        cur = sample_metrics()
+        del cur.counters["search/requests"]
+        diff = diff_metrics(base, cur, DEFAULT_RULES)
+        assert not diff.ok
+        entry = [e for e in diff.regressions if e.section == "counters"][0]
+        assert entry.status == "missing"
+        assert "gone" in entry.delta_text()
+
+    def test_new_metric_is_informational(self):
+        base = sample_metrics()
+        cur = sample_metrics()
+        cur.counters["search/evictions"] = 3.0
+        diff = diff_metrics(base, cur, DEFAULT_RULES)
+        assert diff.ok
+        assert [e.metric for e in diff.new_metrics] == ["search/evictions"]
+        assert "new metrics" in diff.render()
+
+    def test_ignored_metrics_do_not_gate(self):
+        rules = parse_tolerance_spec("counters=ignore,gauges=ignore,"
+                                     "spans=ignore,histograms=ignore")
+        diff = diff_metrics(
+            sample_metrics(), sample_metrics(requests=999), rules
+        )
+        assert diff.ok
+
+    def test_render_report_is_readable(self):
+        diff = diff_metrics(
+            sample_metrics(), sample_metrics(requests=150), DEFAULT_RULES
+        )
+        text = diff.render()
+        assert "regressions" in text
+        assert "counters/search/requests" in text
+        assert "+50" in text  # the delta with its sign

@@ -1,0 +1,151 @@
+"""Tests for the TraceRecorder ring and its Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, TraceRecorder, validate_chrome_trace
+
+
+def fake_clock(step: float = 1.0):
+    """A deterministic monotonic clock advancing ``step`` per read."""
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestRecorder:
+    def test_complete_and_instant_are_recorded(self):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.complete("phase", start_s=2.0, dur_s=0.5)
+        rec.instant("marker", args={"day": 3})
+        assert len(rec) == 2
+
+    def test_timestamps_are_relative_to_epoch_in_us(self):
+        rec = TraceRecorder(clock=fake_clock())  # epoch = 1.0
+        rec.complete("phase", start_s=2.0, dur_s=0.5)
+        events = rec.to_chrome()["traceEvents"]
+        span = [e for e in events if e["ph"] == "X"][0]
+        assert span["ts"] == pytest.approx(1e6)   # (2.0 - 1.0) s
+        assert span["dur"] == pytest.approx(5e5)  # 0.5 s
+
+    def test_ring_bound_drops_oldest_and_counts(self):
+        rec = TraceRecorder(clock=fake_clock(), max_events=3)
+        for index in range(5):
+            rec.instant(f"e{index}")
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        names = [
+            e["name"]
+            for e in rec.to_chrome()["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert names == ["e2", "e3", "e4"]  # the newest events win
+        assert rec.to_chrome()["otherData"]["dropped_events"] == 2
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+
+class TestChromeExport:
+    def test_export_is_schema_valid(self):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.complete("outer", start_s=2.0, dur_s=1.0)
+        rec.instant("hop", cat="hop")
+        payload = json.loads(rec.to_chrome_json())
+        assert validate_chrome_trace(payload) == []
+
+    def test_complete_events_carry_dur_instants_carry_scope(self):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.complete("span", start_s=2.0, dur_s=0.1)
+        rec.instant("point")
+        by_ph = {e["ph"]: e for e in rec.to_chrome()["traceEvents"]}
+        assert "dur" in by_ph["X"]
+        assert by_ph["i"]["s"] == "t"
+        assert by_ph["M"]["name"] == "process_name"
+
+    def test_args_are_passed_through(self):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.instant("query", args={"outcome": "one_hop", "hops": 2})
+        event = [
+            e for e in rec.to_chrome()["traceEvents"] if e["ph"] == "i"
+        ][0]
+        assert event["args"] == {"outcome": "one_hop", "hops": 2}
+
+    def test_write_round_trips(self, tmp_path):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.complete("phase", start_s=2.0, dur_s=0.5)
+        path = tmp_path / "trace.json"
+        rec.write_chrome(str(path))
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_validator_catches_malformed_events(self):
+        assert validate_chrome_trace([1]) != []
+        assert validate_chrome_trace({}) != []
+        bad = {"traceEvents": [{"ph": "X", "name": "n", "ts": 0}]}
+        assert any("dur" in p for p in validate_chrome_trace(bad))
+        bad = {"traceEvents": [{"name": "n", "ts": 0}]}
+        assert any("ph" in p for p in validate_chrome_trace(bad))
+
+
+class TestObserverIntegration:
+    def test_closed_spans_emit_nested_complete_events(self):
+        clock = fake_clock()
+        rec = TraceRecorder(clock=clock)
+        obs = Observer(clock=clock, tracer=rec)
+        with obs.span("crawl"):
+            with obs.span("day"):
+                pass
+        names = [
+            e["name"]
+            for e in rec.to_chrome()["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        # Inner span closes first; paths carry the hierarchy.
+        assert names == ["crawl/day", "crawl"]
+        spans = {
+            e["name"]: e
+            for e in rec.to_chrome()["traceEvents"]
+            if e["ph"] == "X"
+        }
+        # Proper nesting: the child interval lies inside the parent's.
+        child, parent = spans["crawl/day"], spans["crawl"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_instants_join_the_current_span_path(self):
+        clock = fake_clock()
+        rec = TraceRecorder(clock=clock)
+        obs = Observer(clock=clock, tracer=rec)
+        with obs.span("crawl"):
+            obs.instant("hop", cat="hop")
+        event = [
+            e for e in rec.to_chrome()["traceEvents"] if e["ph"] == "i"
+        ][0]
+        assert event["name"] == "crawl/hop"
+        assert event["cat"] == "hop"
+
+    def test_instant_is_noop_without_tracer(self):
+        obs = Observer()
+        obs.instant("hop")  # must not raise
+        assert obs.tracer is None
+
+    def test_record_span_with_start_lands_on_the_timeline(self):
+        clock = fake_clock()
+        rec = TraceRecorder(clock=clock)
+        obs = Observer(clock=clock, tracer=rec)
+        obs.record_span("one_hop", 0.25, start_s=2.0)
+        obs.record_span("untimed", 0.25)  # no start -> aggregate only
+        names = [
+            e["name"]
+            for e in rec.to_chrome()["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert names == ["one_hop"]
+        assert obs.span_stats["untimed"].count == 1

@@ -1,0 +1,113 @@
+"""Tests for the fixed-bucket Histogram and its bucket ladders."""
+
+import pytest
+
+from repro.obs import COUNT_BOUNDS, Histogram, LATENCY_BOUNDS_S, log_bounds
+
+
+class TestLogBounds:
+    def test_doubles_from_lo_past_hi(self):
+        assert log_bounds(1.0, 8.0) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_final_bound_covers_hi(self):
+        bounds = log_bounds(1.0, 5.0)
+        assert bounds[-1] >= 5.0
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(1.0, 8.0, growth=1.0)
+
+    def test_standard_ladders_cover_their_ranges(self):
+        assert LATENCY_BOUNDS_S[0] == 1e-6
+        assert LATENCY_BOUNDS_S[-1] >= 16.0
+        assert COUNT_BOUNDS == tuple(float(2 ** i) for i in range(13))
+
+
+class TestRecord:
+    def test_tracks_count_sum_min_max(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 3.0, 1.5):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.total == 5.0
+        assert hist.min == 0.5
+        assert hist.max == 3.0
+        assert hist.mean == pytest.approx(5.0 / 3)
+
+    def test_bucketing_first_bound_gte_value(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        hist.record(1.0)   # exactly on a bound -> that bucket
+        hist.record(1.5)   # between bounds -> next bucket up
+        hist.record(9.0)   # above the last bound -> overflow
+        assert hist.counts == [1, 1, 0, 1]
+
+    def test_overflow_bucket_exists(self):
+        hist = Histogram(bounds=(1.0,))
+        assert len(hist.counts) == 2
+        hist.record(100.0)
+        assert hist.counts == [0, 1]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+
+class TestPercentiles:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram().percentile(0.99) == 0.0
+        assert Histogram().summary()["p50"] == 0.0
+
+    def test_clamped_to_observed_min_max(self):
+        hist = Histogram(bounds=(1.0, 1024.0))
+        hist.record(3.0)
+        assert hist.percentile(0.0) >= hist.min
+        assert hist.percentile(1.0) <= hist.max
+
+    def test_overflow_percentile_is_max(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.record(50.0)
+        assert hist.percentile(0.99) == 50.0
+
+    def test_median_lands_in_the_right_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 0.5, 0.5, 3.0, 7.0):
+            hist.record(value)
+        p50 = hist.percentile(0.50)
+        assert p50 <= 1.0  # three of five values are in the first bucket
+        p90 = hist.percentile(0.90)
+        assert 4.0 < p90 <= 8.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_summary_keys(self):
+        hist = Histogram()
+        hist.record(0.5)
+        assert set(hist.summary()) == {
+            "count", "mean", "p50", "p90", "p99", "max"
+        }
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_everything(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.record(value)
+        again = Histogram.from_dict(hist.as_dict())
+        assert again.as_dict() == hist.as_dict()
+        assert again.percentile(0.9) == hist.percentile(0.9)
+
+    def test_from_dict_rejects_wrong_bucket_count(self):
+        payload = Histogram(bounds=(1.0, 2.0)).as_dict()
+        payload["counts"] = [0.0, 0.0]  # needs len(bounds)+1 == 3
+        with pytest.raises(ValueError, match="entries"):
+            Histogram.from_dict(payload)

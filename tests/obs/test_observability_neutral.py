@@ -15,7 +15,7 @@ from repro.edonkey.crawler import Crawler, CrawlerConfig
 from repro.edonkey.network import NetworkConfig, build_network
 from repro.experiments.configs import Scale, workload_config
 from repro.faults import FaultConfig, RetryPolicy
-from repro.obs import Observer
+from repro.obs import Observer, TraceRecorder
 from repro.trace.io import dumps_trace
 from tests.conftest import build_static
 
@@ -97,3 +97,31 @@ class TestSearchNeutrality:
         plain = simulate_search(trace, config)
         observed = simulate_search(trace, config, obs=Observer())
         assert observed.rates == plain.rates
+
+
+class TestTracingNeutrality:
+    """Attaching an event tracer must be as invisible as the Observer."""
+
+    def test_seeded_crawl_is_byte_identical_with_tracer_on(self):
+        _, plain = run_crawl(obs=Observer())
+        tracer = TraceRecorder()
+        _, traced = run_crawl(obs=Observer(tracer=tracer))
+        assert dumps_trace(traced) == dumps_trace(plain)
+        # The traced run really captured events (hops, day markers, spans).
+        assert len(tracer) > 0
+        cats = {e[2] for e in tracer._events}
+        assert "crawl" in cats  # day_start markers
+        assert "hop" in cats    # message hops
+
+    def test_two_hop_search_identical_with_tracer_on(self):
+        trace = build_static(
+            {i: [f"f{j}" for j in range(8)] for i in range(12)}
+        )
+        config = SearchConfig(list_size=3, two_hop=True, seed=SEED)
+        plain = simulate_search(trace, config, obs=Observer())
+        tracer = TraceRecorder()
+        traced = simulate_search(
+            trace, config, obs=Observer(tracer=tracer)
+        )
+        assert traced.rates == plain.rates
+        assert any(e[2] == "query" for e in tracer._events)

@@ -311,6 +311,168 @@ class TestObservabilityFlags:
         assert "experiment/fig5" in payload["spans"]
 
 
+class TestTraceOutFlag:
+    def test_crawl_trace_out_is_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        rc = main(
+            ["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+             "--trace-out", str(trace_path)]
+        )
+        assert rc == 0
+        assert "Wrote Chrome trace" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "crawl" in names
+        assert "crawl/day/browse" in names
+        # Message hops are instant events nested under their phase.
+        assert any(
+            e["ph"] == "i" and e.get("cat") == "hop" for e in events
+        )
+
+    def test_search_trace_out_carries_query_events(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        rc = main(
+            ["search", "--scale", "small", "--seed", "3", "--two-hop",
+             "--list-sizes", "5", "--trace-out", str(trace_path)]
+        )
+        assert rc == 0
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        queries = [
+            e for e in payload["traceEvents"] if e.get("cat") == "query"
+        ]
+        assert queries
+        assert all("outcome" in e["args"] for e in queries)
+
+    def test_trace_out_leaves_output_identical(self, tmp_path, capsys):
+        plain_out = tmp_path / "plain.jsonl.gz"
+        traced_out = tmp_path / "traced.jsonl.gz"
+        main(["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+              "-o", str(plain_out)])
+        capsys.readouterr()
+        main(["crawl", "--clients", "40", "--days", "2", "--seed", "1",
+              "--trace-out", str(tmp_path / "t.json"), "-o",
+              str(traced_out)])
+        capsys.readouterr()
+        import gzip
+
+        assert gzip.decompress(traced_out.read_bytes()) == gzip.decompress(
+            plain_out.read_bytes()
+        )
+
+
+class TestMetricsDiffCommand:
+    def write_metrics(self, tmp_path, name, requests=100.0):
+        from repro.obs import Observer
+
+        obs = Observer()
+        obs.count("search/requests", requests)
+        obs.gauge("search/hit_rate", 0.9)
+        obs.hist("search/hops", 3.0)
+        path = tmp_path / name
+        obs.report(run={"command": "test"}).write(str(path))
+        return str(path)
+
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        base = self.write_metrics(tmp_path, "base.json")
+        cur = self.write_metrics(tmp_path, "cur.json")
+        rc = main(["metrics", "diff", base, cur])
+        assert rc == 0
+        assert "all metrics within tolerance" in capsys.readouterr().out
+
+    def test_regression_exits_one_with_report(self, tmp_path, capsys):
+        base = self.write_metrics(tmp_path, "base.json")
+        cur = self.write_metrics(tmp_path, "cur.json", requests=150.0)
+        rc = main(["metrics", "diff", base, cur])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "regressions" in out
+        assert "counters/search/requests" in out
+
+    def test_fail_on_spec_can_loosen_the_gate(self, tmp_path, capsys):
+        base = self.write_metrics(tmp_path, "base.json")
+        cur = self.write_metrics(tmp_path, "cur.json", requests=150.0)
+        rc = main(["metrics", "diff", base, cur,
+                   "--fail-on", "counters=0.6"])
+        assert rc == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        base = self.write_metrics(tmp_path, "base.json")
+        rc = main(["metrics", "diff", base, str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot load current" in capsys.readouterr().err
+
+    def test_bad_spec_exits_two(self, tmp_path, capsys):
+        base = self.write_metrics(tmp_path, "base.json")
+        rc = main(["metrics", "diff", base, base,
+                   "--fail-on", "timers=0"])
+        assert rc == 2
+        assert "unknown section" in capsys.readouterr().err
+
+    def test_invalid_metrics_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        base = self.write_metrics(tmp_path, "base.json")
+        rc = main(["metrics", "diff", str(bad), base])
+        assert rc == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestRunAllMetricsFlags:
+    def test_metrics_out_writes_one_file_per_experiment(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import RunMetrics, validate_metrics
+        from repro.runtime.runner import RunManifest
+
+        results = tmp_path / "results"
+        rc = main(["run-all", "--scale", "tiny", "--results-dir",
+                   str(results), "--only", "table2", "--metrics-out"])
+        assert rc == 0
+        metrics_path = results / "table2.metrics.json"
+        assert metrics_path.exists()
+        import json
+
+        assert validate_metrics(json.loads(metrics_path.read_text())) == []
+        manifest = RunManifest.read(results / "table2.manifest.json")
+        assert manifest.metrics_file == "table2.metrics.json"
+        # The standalone file matches the blob embedded in the manifest.
+        standalone = RunMetrics.read(str(metrics_path))
+        assert standalone.to_dict() == manifest.run_metrics
+
+    def test_without_metrics_out_no_file_and_no_manifest_field(
+        self, tmp_path, capsys
+    ):
+        from repro.runtime.runner import RunManifest
+
+        results = tmp_path / "results"
+        rc = main(["run-all", "--scale", "tiny", "--results-dir",
+                   str(results), "--only", "table2"])
+        assert rc == 0
+        assert not (results / "table2.metrics.json").exists()
+        manifest = RunManifest.read(results / "table2.manifest.json")
+        assert manifest.metrics_file is None
+
+    def test_profile_prints_per_experiment_profiles(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        rc = main(["run-all", "--scale", "tiny", "--results-dir",
+                   str(results), "--only", "table2", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "timing spans" in out
+        assert "experiment/table2" in out
+
+
 class TestCalibrateCommand:
     def test_synthetic_calibration_passes(self, capsys):
         rc = main(["calibrate", "--scale", "small", "--seed", "20060418"])

@@ -19,6 +19,7 @@ EXAMPLES = [
     ("rare_file_search.py", ["--scale", "small", "--seed", "3"]),
     ("semantic_overlay.py", ["--scale", "small", "--rounds", "8"]),
     ("peercache_planning.py", ["--scale", "small", "--seed", "3"]),
+    ("trace_a_search.py", ["--scale", "small", "--seed", "3"]),
 ]
 
 
