@@ -15,7 +15,7 @@ import dataclasses
 from benchmarks.conftest import record, run_once
 from repro.core.randomization import randomize_trace
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import DEFAULT_SEED, Scale, workload_config
+from repro.runtime.scale import DEFAULT_SEED, Scale, workload_config
 from repro.experiments.result import ExperimentResult
 from repro.util.rng import RngStream
 from repro.workload.generator import SyntheticWorkloadGenerator

@@ -1,0 +1,215 @@
+"""Benchmark of the compiled trace layer against the legacy string paths.
+
+Every consumer of :class:`~repro.trace.compiled.CompiledTrace` keeps its
+original string-keyed engine reachable with ``use_compiled=False`` (the
+reference implementation the equivalence tests pin against).  This bench
+times both engines on the same workload and *gates* the two kernels the
+compiled layer exists for:
+
+- ``pair_overlaps`` — the pairwise-overlap analysis kernel (Figures
+  13-17), sparse-matrix / C-level counting vs the nested pair loop;
+- ``weighted_requests`` — replica-weighted request generation (the
+  search hot path), Fenwick-tree peer selection vs the O(n) scan.
+
+Both must show at least ``MIN_SPEEDUP`` (2x) at the committed workload
+(DEFAULT scale), or the bench exits non-zero.  End-to-end search and
+uniform request generation are reported informationally (they spend most
+of their time outside the swapped kernels, so their speedup is real but
+smaller).  Results land in ``benchmarks/results/bench-compiled.json``
+(machine-readable) and ``.txt`` (human-readable).
+
+CI runs a SMALL-scale smoke with ``--no-gate`` (timing on shared runners
+is too noisy to gate, but the smoke proves both engines still run); the
+committed DEFAULT-scale results are regenerated with ``python
+benchmarks/bench_compiled.py`` whenever the kernels change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.semantic import pair_overlaps
+from repro.core.requests import generate_requests
+from repro.core.search import SearchConfig, simulate_search
+from repro.runtime.cache import SHARED_TRACE_CACHE
+from repro.runtime.scale import DEFAULT_SEED, Scale
+from repro.trace.compiled import CompiledTrace
+from repro.util.rng import RngStream
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_JSON = os.path.join(RESULTS_DIR, "bench-compiled.json")
+RESULTS_TXT = os.path.join(RESULTS_DIR, "bench-compiled.txt")
+
+#: Kernels whose compiled/legacy ratio is enforced, and the floor.
+MIN_SPEEDUP = 2.0
+GATED = ("pair_overlaps", "weighted_requests")
+
+
+def _best_of(repeat, fn):
+    """Best (minimum) wall time of ``repeat`` runs; returns (secs, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def run_bench(scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED,
+              repeat: int = 3) -> dict:
+    """Time every kernel both ways and return the result document."""
+    static = SHARED_TRACE_CACHE.static(scale, seed)
+    static.invalidate_compiled()
+    compile_secs, compiled = _best_of(1, lambda: CompiledTrace.from_static(static))
+    # Re-prime the memo so the timed consumers don't recompile.
+    assert static.compiled() is not None
+
+    timings: dict = {
+        "compile": {"secs": compile_secs},
+    }
+
+    def record(name, legacy_fn, compiled_fn, check=None):
+        legacy_secs, legacy_out = _best_of(repeat, legacy_fn)
+        compiled_secs, compiled_out = _best_of(repeat, compiled_fn)
+        if check is not None:
+            check(legacy_out, compiled_out)
+        timings[name] = {
+            "legacy_secs": legacy_secs,
+            "compiled_secs": compiled_secs,
+            "speedup": legacy_secs / compiled_secs,
+        }
+
+    caches = dict(static.caches)
+    record(
+        "pair_overlaps",
+        lambda: pair_overlaps(caches, use_compiled=False),
+        lambda: pair_overlaps(compiled),
+        check=lambda a, b: _require(a == b, "pair_overlaps outputs differ"),
+    )
+    record(
+        "weighted_requests",
+        lambda: list(generate_requests(
+            static, RngStream(seed, "bench"), weighted_by_cache=True,
+            use_compiled=False,
+        )),
+        lambda: list(generate_requests(
+            static, RngStream(seed, "bench"), weighted_by_cache=True,
+        )),
+        check=lambda a, b: _require(a == b, "request streams differ"),
+    )
+    record(
+        "uniform_requests",
+        lambda: list(generate_requests(
+            static, RngStream(seed, "bench"), use_compiled=False,
+        )),
+        lambda: list(generate_requests(static, RngStream(seed, "bench"))),
+        check=lambda a, b: _require(a == b, "request streams differ"),
+    )
+    config = SearchConfig(list_size=10, track_load=False, seed=seed)
+    record(
+        "search",
+        lambda: simulate_search(static, config, use_compiled=False),
+        lambda: simulate_search(static, config),
+        check=lambda a, b: _require(
+            a.rates == b.rates, "search results differ"
+        ),
+    )
+
+    return {
+        "benchmark": "bench-compiled",
+        "scale": scale.name,
+        "seed": seed,
+        "repeat": repeat,
+        "clients": len(static.caches),
+        "replicas": static.total_replicas(),
+        "min_speedup": MIN_SPEEDUP,
+        "gated": list(GATED),
+        "timings": timings,
+    }
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def gate_failures(doc: dict) -> list:
+    """The gated kernels (if any) below the speedup floor."""
+    return [
+        name
+        for name in doc["gated"]
+        if doc["timings"][name]["speedup"] < doc["min_speedup"]
+    ]
+
+
+def render(doc: dict) -> str:
+    lines = [
+        f"bench-compiled  scale={doc['scale']} seed={doc['seed']} "
+        f"clients={doc['clients']} replicas={doc['replicas']}",
+        f"compile: {doc['timings']['compile']['secs'] * 1000:.1f} ms",
+        "",
+        f"{'kernel':<20}{'legacy':>10}{'compiled':>10}{'speedup':>9}  gate",
+    ]
+    for name, t in doc["timings"].items():
+        if name == "compile":
+            continue
+        gate = f">={doc['min_speedup']:.0f}x" if name in doc["gated"] else "-"
+        lines.append(
+            f"{name:<20}{t['legacy_secs'] * 1000:>8.1f}ms"
+            f"{t['compiled_secs'] * 1000:>8.1f}ms"
+            f"{t['speedup']:>8.2f}x  {gate}"
+        )
+    return "\n".join(lines)
+
+
+def write_results(doc: dict, json_path: str = RESULTS_JSON,
+                  txt_path: str = RESULTS_TXT) -> None:
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    with open(json_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(txt_path, "w") as fh:
+        fh.write(render(doc) + "\n")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", default="default", choices=["small", "default", "large"]
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--out", default=RESULTS_JSON)
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report speedups without enforcing the floor (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_bench(
+        scale=Scale[args.scale.upper()], seed=args.seed, repeat=args.repeat
+    )
+    txt_path = os.path.splitext(args.out)[0] + ".txt"
+    write_results(doc, args.out, txt_path)
+    print(render(doc))
+    print(f"\nWrote {args.out}")
+
+    failures = gate_failures(doc)
+    if failures and not args.no_gate:
+        print(
+            f"FAIL: below the {doc['min_speedup']:.0f}x floor: "
+            + ", ".join(failures)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

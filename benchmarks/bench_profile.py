@@ -33,15 +33,12 @@ from __future__ import annotations
 import dataclasses
 import os
 
+from repro.analysis.semantic import pair_overlaps
 from repro.core.search import SearchConfig, simulate_search
 from repro.edonkey.crawler import Crawler, CrawlerConfig
 from repro.edonkey.network import NetworkConfig, build_network
-from repro.experiments.configs import (
-    DEFAULT_SEED,
-    Scale,
-    get_static_trace,
-    workload_config,
-)
+from repro.runtime.cache import SHARED_TRACE_CACHE
+from repro.runtime.scale import DEFAULT_SEED, Scale, workload_config
 from repro.obs import Observer, RunMetrics, validate_metrics
 
 RESULTS_PATH = os.path.join(
@@ -81,7 +78,19 @@ def profile_workload(
     trace = crawler.crawl()
     obs.gauge("workload/snapshots", trace.num_snapshots)
 
-    static = get_static_trace(Scale.SMALL, seed)
+    static = SHARED_TRACE_CACHE.static(Scale.SMALL, seed)
+
+    # Compiled-path stage: compile the static trace and run the pairwise
+    # overlap kernel on it, so the regression gate also covers the
+    # compiled trace layer (counts are deterministic => exact-match).
+    with obs.span("compile"):
+        compiled = static.compiled()
+    obs.gauge("compiled/files", compiled.num_files)
+    obs.gauge("compiled/replicas", compiled.total_replicas)
+    with obs.span("analyze/pair_overlaps"):
+        overlaps = pair_overlaps(compiled)
+    obs.count("analysis/overlapping_pairs", len(overlaps))
+
     for list_size in list_sizes:
         with obs.span(f"search@{list_size}"):
             simulate_search(

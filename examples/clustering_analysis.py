@@ -27,7 +27,7 @@ from repro.analysis.semantic import (
     popularity_band_filter,
 )
 from repro.core.randomization import randomize_trace
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.trace.filtering import filter_duplicates
 from repro.trace.io import load_trace
 from repro.util.rng import RngStream

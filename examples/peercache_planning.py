@@ -23,7 +23,7 @@ import argparse
 import dataclasses
 
 from repro.cache.peercache import PeerCacheConfig, simulate_peercache
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.util.tables import format_table, percent
 from repro.workload.generator import SyntheticWorkloadGenerator
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.trace.extrapolation import extrapolate
 from repro.trace.filtering import filter_duplicates
 from repro.trace.stats import general_characteristics

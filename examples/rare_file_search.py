@@ -26,7 +26,7 @@ from repro.baselines.random_walk import RandomWalkConfig, RandomWalkSearch
 from repro.core.neighbours import make_strategy
 from repro.core.requests import generate_requests
 from repro.core.search import SearchConfig, SearchSimulator, simulate_search
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.util.rng import RngStream
 from repro.util.tables import format_table, percent
 from repro.workload.generator import SyntheticWorkloadGenerator

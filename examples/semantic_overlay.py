@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.overlay.cyclon import CyclonConfig
 from repro.overlay.simulator import OverlayConfig, SemanticOverlaySimulator
 from repro.overlay.vicinity import VicinityConfig

@@ -29,7 +29,7 @@ import os
 import tempfile
 
 from repro.core.search import SearchConfig, simulate_search
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.obs import Observer, TraceRecorder, validate_chrome_trace
 from repro.util.tables import format_table, percent
 from repro.workload.generator import SyntheticWorkloadGenerator

@@ -8,11 +8,19 @@ next one, which is what makes semantic neighbour lists work.
 The *overlap evolution* analyses (Figures 15-17) group client pairs by their
 cache overlap on the first analysis day and track the mean overlap of each
 group over time.
+
+The pair-counting entry points accept either a plain cache map or a
+:class:`~repro.trace.compiled.CompiledTrace`; the compiled form routes
+through its sparse overlap kernel, and cache-map inputs default to
+C-level ``Counter`` accumulation over ``combinations``.  All paths
+produce the exact dict the original nested pair loop computes (kept
+reachable with ``use_compiled=False`` as the reference).
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from itertools import combinations
 from typing import (
     Callable,
     Dict,
@@ -22,21 +30,25 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
+from repro.trace.compiled import CompiledTrace, FileInterner
 from repro.trace.model import ClientId, FileId, Trace, pair_key
 from repro.util.cdf import Series
 from repro.util.rng import RngStream
 
 FileFilter = Callable[[FileId], bool]
 CacheMap = Mapping[ClientId, FrozenSet[FileId]]
+Caches = Union[CacheMap, CompiledTrace]
 
 
 def pair_overlaps(
-    caches: CacheMap,
+    caches: Caches,
     file_filter: Optional[FileFilter] = None,
     max_sources_per_file: Optional[int] = None,
     rng: Optional[RngStream] = None,
+    use_compiled: bool = True,
 ) -> Dict[Tuple[ClientId, ClientId], int]:
     """Number of common (qualifying) files for every overlapping pair.
 
@@ -45,14 +57,37 @@ def pair_overlaps(
     per-file pair fan-out by subsampling sharers of very popular files
     (needed on large traces where a 10k-source file alone would contribute
     50M pairs); ``rng`` is required when the cap is set.
+
+    ``caches`` may be a :class:`~repro.trace.compiled.CompiledTrace`
+    (fastest — sparse matrix product / C-level counting) or a plain cache
+    map.  Subsampling consumes the RNG in the cache map's own iteration
+    order, so the cap requires a cache map, not a compiled trace.
     """
+    if isinstance(caches, CompiledTrace):
+        if max_sources_per_file is not None:
+            raise ValueError(
+                "max_sources_per_file draws in cache-map iteration order; "
+                "pass the cache map itself, not a CompiledTrace"
+            )
+        mask = None
+        if file_filter is not None:
+            mask = [file_filter(fid) for fid in caches.file_ids]
+        return caches.pair_overlaps(mask)
+
     sharers_of: Dict[FileId, List[ClientId]] = defaultdict(list)
     for client_id, cache in caches.items():
         for fid in cache:
             if file_filter is None or file_filter(fid):
                 sharers_of[fid].append(client_id)
 
-    overlaps: Dict[Tuple[ClientId, ClientId], int] = Counter()
+    overlaps: Counter = Counter()
+    if max_sources_per_file is None and use_compiled:
+        # Hot path: push the O(s^2) pair enumeration into C.
+        for sharers in sharers_of.values():
+            if len(sharers) > 1:
+                overlaps.update(combinations(sorted(sharers), 2))
+        return dict(overlaps)
+
     for fid, sharers in sharers_of.items():
         if max_sources_per_file is not None and len(sharers) > max_sources_per_file:
             if rng is None:
@@ -66,25 +101,29 @@ def pair_overlaps(
 
 
 def clustering_correlation(
-    caches: CacheMap,
+    caches: Caches,
     file_filter: Optional[FileFilter] = None,
     max_common: int = 200,
     min_pairs: int = 5,
     name: str = "clustering",
     max_sources_per_file: Optional[int] = None,
     rng: Optional[RngStream] = None,
+    use_compiled: bool = True,
 ) -> Series:
     """P(>= n+1 common files | >= n common files), per n (Figure 13).
 
     The y value at x = n is the percentage of pairs with at least ``n``
     common files that have at least ``n + 1``.  Points supported by fewer
     than ``min_pairs`` pairs are dropped (they are pure noise).
+    ``caches`` may be a cache map or a compiled trace (see
+    :func:`pair_overlaps`).
     """
     overlaps = pair_overlaps(
         caches,
         file_filter=file_filter,
         max_sources_per_file=max_sources_per_file,
         rng=rng,
+        use_compiled=use_compiled,
     )
     histogram: Counter = Counter(overlaps.values())
     if not histogram:
@@ -107,17 +146,23 @@ def clustering_correlation(
 
 
 def popularity_band_filter(
-    caches: CacheMap,
+    caches: Caches,
     lo: int,
     hi: int,
     kind_of: Optional[Mapping[FileId, str]] = None,
     kind: Optional[str] = None,
 ) -> FileFilter:
     """Build a filter keeping files whose replica count is in ``[lo, hi]``,
-    optionally restricted to one content kind (e.g. ``audio``)."""
-    counts: Counter = Counter()
-    for cache in caches.values():
-        counts.update(cache)
+    optionally restricted to one content kind (e.g. ``audio``).
+
+    Accepts a cache map or a compiled trace (whose precomputed replica
+    counts are used directly)."""
+    if isinstance(caches, CompiledTrace):
+        counts = caches.replica_counts()
+    else:
+        counts = Counter()
+        for cache in caches.values():
+            counts.update(cache)
 
     def accept(fid: FileId) -> bool:
         if not lo <= counts[fid] <= hi:
@@ -138,6 +183,7 @@ def overlap_evolution(
     overlap_levels: Optional[Sequence[int]] = None,
     max_pairs_per_level: int = 500,
     seed: int = 0,
+    use_compiled: bool = True,
 ) -> List[Series]:
     """Mean overlap over time for pair groups fixed on the first day
     (Figures 15-17).
@@ -167,8 +213,7 @@ def overlap_evolution(
         overlap_levels = sorted(groups)
     rng = RngStream(seed, "overlap-evolution")
 
-    out: List[Series] = []
-    follow_days = [d for d in days if d >= first_day]
+    selected: List[Tuple[int, int, List[Tuple[ClientId, ClientId]]]] = []
     for level in overlap_levels:
         pairs = groups.get(level, [])
         if not pairs:
@@ -176,9 +221,29 @@ def overlap_evolution(
         full_size = len(pairs)
         if full_size > max_pairs_per_level:
             pairs = rng.sample_without_replacement(sorted(pairs), max_pairs_per_level)
+        selected.append((level, full_size, pairs))
+
+    follow_days = [d for d in days if d >= first_day]
+    # Per-day caches of the tracked clients only, interned to int sets
+    # (one intern table for the whole call) so the per-pair intersections
+    # hash ints; intersection *sizes* are representation-independent.
+    tracked = {c for _, _, pairs in selected for pair in pairs for c in pair}
+    interner = FileInterner() if use_compiled else None
+    day_caches: Dict[int, Dict[ClientId, FrozenSet]] = {}
+    for day in follow_days:
+        snaps = trace.snapshots_on(day)
+        if interner is not None:
+            day_caches[day] = {
+                c: interner.intern_set(snaps[c]) for c in tracked if c in snaps
+            }
+        else:
+            day_caches[day] = {c: snaps[c] for c in tracked if c in snaps}
+
+    out: List[Series] = []
+    for level, full_size, pairs in selected:
         series = Series(name=f"{level} Common Files, {full_size} Pairs")
         for day in follow_days:
-            snaps = trace.snapshots_on(day)
+            snaps = day_caches[day]
             values: List[int] = []
             for a, b in pairs:
                 cache_a = snaps.get(a)

@@ -71,19 +71,45 @@ class FloodResult:
 
 
 class FloodingSearch:
-    """Flood queries over a fixed overlay built from a static trace."""
+    """Flood queries over a fixed overlay built from a static trace.
+
+    By default the membership probes run on the trace's compiled form:
+    the queried file id is interned to an int once per search, and each
+    visited peer's cache is a frozen set of ints.  ``use_compiled=False``
+    probes the original string caches; results are identical (only the
+    key representation changes — the BFS order and the overlay RNG never
+    see file ids).
+    """
 
     def __init__(
         self,
         trace: StaticTrace,
         config: Optional[FloodingConfig] = None,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
         self.trace = trace
         self.config = config or FloodingConfig()
         self.rng = RngStream(seed, "flooding")
         self.peers = sorted(trace.caches)
         self.overlay = build_overlay(self.peers, self.config.degree, self.rng)
+        if use_compiled:
+            compiled = trace.compiled()
+            self._file_index: Optional[Dict[FileId, int]] = compiled.file_index
+            row = compiled.client_row
+            sets = compiled.cache_sets
+            self._lookup: Dict[ClientId, frozenset] = {
+                peer: sets[row[peer]] for peer in self.peers
+            }
+        else:
+            self._file_index = None
+            self._lookup = trace.caches
+
+    def _file_key(self, file_id: FileId):
+        """Interned probe key (None — matching nothing — if unknown)."""
+        if self._file_index is None:
+            return file_id
+        return self._file_index.get(file_id)
 
     def search(self, start: ClientId, file_id: FileId) -> FloodResult:
         """BFS flood from ``start`` with the configured TTL.
@@ -92,7 +118,8 @@ class FloodingSearch:
         whether or not it holds the file — flooding does not stop early,
         but we do report the hop at which the first replica was found.
         """
-        caches = self.trace.caches
+        lookup = self._lookup
+        file_key = self._file_key(file_id)
         visited: Set[ClientId] = {start}
         queue: deque = deque([(start, 0)])
         contacted = 0
@@ -106,7 +133,7 @@ class FloodingSearch:
                     continue
                 visited.add(neighbour)
                 contacted += 1
-                if hops_to_hit is None and file_id in caches.get(
+                if hops_to_hit is None and file_key in lookup.get(
                     neighbour, frozenset()
                 ):
                     hops_to_hit = depth + 1
@@ -122,7 +149,8 @@ class FloodingSearch:
     ) -> Tuple[bool, int]:
         """Contacts made until the first replica is reached (expanding-ring
         style accounting: the flood is cut as soon as the file is found)."""
-        caches = self.trace.caches
+        lookup = self._lookup
+        file_key = self._file_key(file_id)
         visited: Set[ClientId] = {start}
         queue: deque = deque([(start, 0)])
         contacted = 0
@@ -133,7 +161,7 @@ class FloodingSearch:
                     continue
                 visited.add(neighbour)
                 contacted += 1
-                if file_id in caches.get(neighbour, frozenset()):
+                if file_key in lookup.get(neighbour, frozenset()):
                     return True, contacted
                 if contacted >= max_contacts:
                     return False, contacted
@@ -153,13 +181,16 @@ def measure_flooding(
     num_queries: int = 200,
     config: Optional[FloodingConfig] = None,
     seed: int = 0,
+    use_compiled: bool = True,
 ) -> Dict[str, float]:
     """Monte-Carlo estimate of flooding cost on a static trace.
 
     Queries pick a random requester and a random file held by someone else,
     then measure contacts-until-hit.  Returns hit rate and mean contacts.
     """
-    search = FloodingSearch(trace, config=config, seed=seed)
+    search = FloodingSearch(
+        trace, config=config, seed=seed, use_compiled=use_compiled
+    )
     rng = RngStream(seed, "flooding-queries")
     sharers = [c for c, cache in trace.caches.items() if cache]
     if not sharers:

@@ -38,22 +38,44 @@ class WalkResult:
 
 
 class RandomWalkSearch:
-    """k parallel random walks with step budgets."""
+    """k parallel random walks with step budgets.
+
+    Membership probes run on the compiled trace by default (interned
+    file key against frozen int sets); ``use_compiled=False`` probes the
+    original string caches.  Walk RNG draws never touch file ids, so
+    results are identical either way.
+    """
 
     def __init__(
         self,
         trace: StaticTrace,
         config: Optional[RandomWalkConfig] = None,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
         self.trace = trace
         self.config = config or RandomWalkConfig()
         self.rng = RngStream(seed, "random-walk")
         self.peers = sorted(trace.caches)
         self.overlay = build_overlay(self.peers, self.config.degree, self.rng)
+        if use_compiled:
+            compiled = trace.compiled()
+            row = compiled.client_row
+            sets = compiled.cache_sets
+            self._file_index = compiled.file_index
+            self._lookup: Dict[ClientId, frozenset] = {
+                peer: sets[row[peer]] for peer in self.peers
+            }
+        else:
+            self._file_index = None
+            self._lookup = trace.caches
 
     def search(self, start: ClientId, file_id: FileId) -> WalkResult:
-        caches = self.trace.caches
+        lookup = self._lookup
+        if self._file_index is None:
+            file_key = file_id
+        else:
+            file_key = self._file_index.get(file_id)
         contacted = 0
         for walker in range(self.config.walkers):
             walk_rng = self.rng.child(f"walk[{start}/{walker}]")
@@ -64,7 +86,7 @@ class RandomWalkSearch:
                     break
                 current = neighbours[walk_rng.py.randrange(len(neighbours))]
                 contacted += 1
-                if file_id in caches.get(current, frozenset()):
+                if file_key in lookup.get(current, frozenset()):
                     return WalkResult(hit=True, contacted=contacted)
         return WalkResult(hit=False, contacted=contacted)
 
@@ -74,9 +96,12 @@ def measure_random_walk(
     num_queries: int = 200,
     config: Optional[RandomWalkConfig] = None,
     seed: int = 0,
+    use_compiled: bool = True,
 ) -> Dict[str, float]:
     """Monte-Carlo hit rate / contact cost of random-walk search."""
-    search = RandomWalkSearch(trace, config=config, seed=seed)
+    search = RandomWalkSearch(
+        trace, config=config, seed=seed, use_compiled=use_compiled
+    )
     rng = RngStream(seed, "walk-queries")
     replica_slots: list[Tuple[ClientId, FileId]] = [
         (peer, fid)

@@ -28,36 +28,65 @@ class LookupStats:
 
 
 class ServerLookup:
-    """A central file -> sources index with publish/unpublish."""
+    """A central file -> sources index with publish/unpublish.
+
+    The public API speaks string file ids.  Built from a trace with
+    ``use_compiled`` (the default), the internal index is keyed by the
+    trace's interned file ints — ``_key`` translates at the boundary, and
+    ids unknown to the intern table (published later) fall back to their
+    string key — so bulk construction walks the compiled inverted index
+    instead of hashing every (client, file-string) pair.
+    """
 
     def __init__(self) -> None:
         self._index: Dict[FileId, Set[ClientId]] = defaultdict(set)
+        self._file_index: Optional[Dict[FileId, int]] = None
         self.stats = LookupStats()
 
     @classmethod
-    def from_trace(cls, trace: StaticTrace) -> "ServerLookup":
+    def from_trace(
+        cls, trace: StaticTrace, use_compiled: bool = True
+    ) -> "ServerLookup":
         lookup = cls()
+        if use_compiled:
+            compiled = trace.compiled()
+            lookup._file_index = compiled.file_index
+            for idx in range(compiled.num_files):
+                rows = compiled.sharer_rows_of(idx)
+                if len(rows):
+                    lookup._index[idx] = set(compiled.client_ids[r] for r in rows)
+            lookup.stats.index_entries += compiled.total_replicas
+            return lookup
         for client_id, cache in trace.caches.items():
             for fid in cache:
                 lookup.publish(client_id, fid)
         return lookup
 
+    def _key(self, file_id: FileId):
+        """Internal index key for ``file_id`` (interned when known)."""
+        if self._file_index is None:
+            return file_id
+        return self._file_index.get(file_id, file_id)
+
     def publish(self, client_id: ClientId, file_id: FileId) -> None:
-        self._index[file_id].add(client_id)
+        self._index[self._key(file_id)].add(client_id)
         self.stats.index_entries += 1
 
     def unpublish(self, client_id: ClientId, file_id: FileId) -> None:
-        sources = self._index.get(file_id)
+        key = self._key(file_id)
+        sources = self._index.get(key)
         if sources is not None:
             sources.discard(client_id)
             if not sources:
-                del self._index[file_id]
+                del self._index[key]
 
     def lookup(self, file_id: FileId, exclude: Optional[ClientId] = None) -> List[ClientId]:
         """All current sources of ``file_id`` (one round-trip)."""
         self.stats.queries += 1
         sources = [
-            c for c in sorted(self._index.get(file_id, set())) if c != exclude
+            c
+            for c in sorted(self._index.get(self._key(file_id), set()))
+            if c != exclude
         ]
         if sources:
             self.stats.hits += 1

@@ -210,7 +210,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                        title="Top autonomous systems"))
 
     static = filtered.to_static()
-    series = clustering_correlation(dict(static.caches), name="clustering")
+    series = clustering_correlation(static.compiled(), name="clustering")
     print()
     print(render_series([series], title="P(another common file | n common), %:",
                         max_points=10))

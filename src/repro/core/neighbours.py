@@ -52,10 +52,23 @@ class NeighbourStrategy(ABC):
         request time (only the Popularity strategy uses it)."""
 
     def contains(self, peer: ClientId) -> bool:
+        """Is ``peer`` in the current list?
+
+        The base default is an O(n) scan over :meth:`ordered` — correct
+        for any strategy, including sampling ones where membership is
+        only defined against a fresh draw (Random).  Strategies with
+        materialized lists (LRU, History, Popularity, Fixed) override
+        with true O(1) lookups that do **not** call :meth:`ordered`,
+        which is what the two-hop fast path relies on.
+        """
         return peer in self.ordered()
 
     def position(self, peer: ClientId) -> Optional[int]:
-        """Index of ``peer`` in the ordered list, or None."""
+        """Index of ``peer`` in the ordered list, or None.
+
+        O(n) by default; overridden with O(1) lookups alongside
+        :meth:`contains`.
+        """
         ordered = self.ordered()
         try:
             return list(ordered).index(peer)
@@ -131,7 +144,8 @@ class _ScoredNeighbours(NeighbourStrategy):
         self._recency[uploader] = self._clock
         self._cache = None
 
-    def ordered(self) -> Sequence[ClientId]:
+    def _ensure_ranked(self) -> None:
+        """Rebuild the ranked view if dirty (amortized O(1) when clean)."""
         if self._cache is None:
             ranked = sorted(
                 self._scores,
@@ -139,14 +153,20 @@ class _ScoredNeighbours(NeighbourStrategy):
             )
             self._cache = ranked[: self.capacity]
             self._cache_set = {peer: i for i, peer in enumerate(self._cache)}
+
+    def ordered(self) -> Sequence[ClientId]:
+        self._ensure_ranked()
         return self._cache
 
     def contains(self, peer: ClientId) -> bool:
-        self.ordered()
+        # O(1) once ranked; deliberately does not route through
+        # ordered() so membership probes are cheap and countable apart
+        # from full-list enumerations.
+        self._ensure_ranked()
         return peer in self._cache_set
 
     def position(self, peer: ClientId) -> Optional[int]:
-        self.ordered()
+        self._ensure_ranked()
         return self._cache_set.get(peer)
 
     def evict(self, peer: ClientId) -> None:
@@ -208,6 +228,11 @@ class RandomNeighbours(NeighbourStrategy):
     ``population`` is a callable returning the current list of peers that
     share at least one file (maintained by the simulator); free-riders never
     appear since they share nothing.
+
+    Random keeps the base-class O(n) ``contains``/``position`` *on
+    purpose*: membership is only defined against a fresh sample, so each
+    probe must call :meth:`ordered` (and consume RNG draws) — seeded
+    runs depend on exactly that draw pattern.
     """
 
     def __init__(

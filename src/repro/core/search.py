@@ -33,7 +33,7 @@ from repro.core.neighbours import (
     NeighbourStrategy,
     make_strategy,
 )
-from repro.core.requests import generate_requests
+from repro.core.requests import generate_requests, iter_requests_compiled
 from repro.obs import COUNT_BOUNDS, LATENCY_BOUNDS_S, NULL_OBSERVER, Observer
 from repro.trace.model import ClientId, FileId, StaticTrace
 from repro.util.rng import RngStream
@@ -217,7 +217,16 @@ class QueryRecord:
 
 
 class SearchSimulator:
-    """Runs the Section 5 methodology over a static trace."""
+    """Runs the Section 5 methodology over a static trace.
+
+    By default the simulation runs on the trace's compiled form
+    (:meth:`~repro.trace.model.StaticTrace.compiled`): files are interned
+    ints throughout the hot loop, current sharers live in a list indexed
+    by file index, and the request stream is consumed as int tuples.
+    ``use_compiled=False`` selects the original string-keyed engine, kept
+    as the reference implementation; seeded results are byte-identical
+    either way (the equivalence suite pins this).
+    """
 
     def __init__(
         self,
@@ -225,6 +234,7 @@ class SearchSimulator:
         config: Optional[SearchConfig] = None,
         obs: Optional[Observer] = None,
         ctx: Optional["RunContext"] = None,
+        use_compiled: bool = True,
     ) -> None:
         if ctx is not None:
             if config is None:
@@ -237,9 +247,16 @@ class SearchSimulator:
         if self.config.initial_lists is not None:
             self._check_lists_against_trace()
         self.rng = RngStream(self.config.seed, "search")
+        self.use_compiled = use_compiled
+        self._compiled = trace.compiled() if use_compiled else None
         self._strategies: Dict[ClientId, NeighbourStrategy] = {}
-        self._shared: Dict[ClientId, Set[FileId]] = {}
+        # File keys are interned ints in compiled mode, FileId strings in
+        # legacy mode; both engines treat them as opaque throughout.
+        self._shared: Dict[ClientId, Set] = {}
         self._sharers_of: Dict[FileId, List[ClientId]] = {}
+        self._sharers_list: Optional[List[Optional[List[ClientId]]]] = (
+            [None] * self._compiled.num_files if use_compiled else None
+        )
         self._sharer_peers: List[ClientId] = []  # peers sharing >= 1 file
         self._sharer_seen: Set[ClientId] = set()
         # Dead-neighbour detection state (only used when evict_dead).
@@ -298,15 +315,29 @@ class SearchSimulator:
             self._strategies[peer] = strategy
         return strategy
 
-    def _add_to_cache(self, peer: ClientId, file_id: FileId) -> None:
-        self._shared.setdefault(peer, set()).add(file_id)
-        self._sharers_of.setdefault(file_id, []).append(peer)
+    def _add_to_cache(self, peer: ClientId, file_key) -> None:
+        self._shared.setdefault(peer, set()).add(file_key)
+        sharers_list = self._sharers_list
+        if sharers_list is not None:
+            sharers = sharers_list[file_key]
+            if sharers is None:
+                sharers_list[file_key] = [peer]
+            else:
+                sharers.append(peer)
+        else:
+            self._sharers_of.setdefault(file_key, []).append(peer)
         if peer not in self._sharer_seen:
             self._sharer_seen.add(peer)
             self._sharer_peers.append(peer)
 
-    def shares(self, peer: ClientId, file_id: FileId) -> bool:
-        return file_id in self._shared.get(peer, ())
+    def _sharers(self, file_key) -> Optional[List[ClientId]]:
+        """Current sharers of ``file_key`` in upload order (None if none)."""
+        if self._sharers_list is not None:
+            return self._sharers_list[file_key]
+        return self._sharers_of.get(file_key)
+
+    def shares(self, peer: ClientId, file_key) -> bool:
+        return file_key in self._shared.get(peer, ())
 
     # ------------------------------------------------------------------
     # Query paths
@@ -314,7 +345,7 @@ class SearchSimulator:
     def _query_one_hop(
         self,
         peer: ClientId,
-        file_id: FileId,
+        file_key,
         load: Optional[LoadTracker],
         online=None,
         lost=None,
@@ -340,7 +371,7 @@ class SearchSimulator:
                 self._record_probe_failure(peer, neighbour)
                 continue
             self._record_probe_answer(peer, neighbour)
-            if self.shares(neighbour, file_id):
+            if self.shares(neighbour, file_key):
                 return neighbour, queried
         return None, queried
 
@@ -364,7 +395,7 @@ class SearchSimulator:
     def _query_two_hop(
         self,
         peer: ClientId,
-        file_id: FileId,
+        file_key,
         first_hop: Sequence[ClientId],
         load: Optional[LoadTracker],
     ) -> Optional[ClientId]:
@@ -375,7 +406,7 @@ class SearchSimulator:
         neighbours are skipped.
         """
         self._last_two_hop_contacts = 0
-        sharers = self._sharers_of.get(file_id, ())
+        sharers = self._sharers(file_key) or ()
         if load is None and len(sharers) * max(1, len(first_hop)) < _fast_path_budget(
             self.config.list_size
         ):
@@ -399,7 +430,7 @@ class SearchSimulator:
                 self._last_two_hop_contacts += 1
                 if load is not None:
                     load.record(second)
-                if self.shares(second, file_id):
+                if self.shares(second, file_key):
                     return second
         return None
 
@@ -467,27 +498,47 @@ class SearchSimulator:
                 return _rng.py.random() < _rate
         unresolvable = 0
         rare_rates: Optional[HitRateAccumulator] = None
-        rare_files: Set[FileId] = set()
+        rare_files: Set = set()
         if config.rare_cutoff is not None:
             rare_rates = HitRateAccumulator()
-            counts = self.trace.replica_counts()
-            rare_files = {
-                f for f, c in counts.items() if c <= config.rare_cutoff
-            }
+            if self._compiled is not None:
+                rare_files = {
+                    idx
+                    for idx, c in enumerate(self._compiled.static_counts)
+                    if c <= config.rare_cutoff
+                }
+            else:
+                counts = self.trace.replica_counts()
+                rare_files = {
+                    f for f, c in counts.items() if c <= config.rare_cutoff
+                }
         exchanges: Optional[Dict[Tuple[ClientId, ClientId], int]] = (
             {} if config.track_exchanges else None
         )
 
+        if self._compiled is not None:
+            requests = iter_requests_compiled(
+                self._compiled,
+                request_rng,
+                weighted_by_cache=config.weighted_requests,
+            )
+        else:
+            requests = (
+                (r.peer, r.file_id)
+                for r in generate_requests(
+                    self.trace,
+                    request_rng,
+                    weighted_by_cache=config.weighted_requests,
+                    use_compiled=False,
+                )
+            )
         run_start = clock() if profiled else 0.0
-        for request in generate_requests(
-            self.trace, request_rng, weighted_by_cache=config.weighted_requests
-        ):
-            peer, file_id = request.peer, request.file_id
-            sharers = self._sharers_of.get(file_id)
+        for peer, file_key in requests:
+            sharers = self._sharers(file_key)
             if not sharers:
                 # Original contributor: the file enters the system here.
                 rates.contributions += 1
-                self._add_to_cache(peer, file_id)
+                self._add_to_cache(peer, file_key)
                 continue
 
             online = None
@@ -509,20 +560,20 @@ class SearchSimulator:
                     # once a source returns, so the file still enters its
                     # cache, but no list learning happens.
                     unresolvable += 1
-                    self._add_to_cache(peer, file_id)
+                    self._add_to_cache(peer, file_key)
                     continue
             else:
                 online_sharers = sharers
 
             rates.requests += 1
-            is_rare = rare_rates is not None and file_id in rare_files
+            is_rare = rare_rates is not None and file_key in rare_files
             if is_rare:
                 rare_rates.requests += 1
             lost_before = self._probes_lost if profiled else 0
             record: Optional[QueryRecord] = None
             started = clock() if profiled else 0.0
             answerer, first_hop = self._query_one_hop(
-                peer, file_id, load_sink, online=online, lost=lost
+                peer, file_key, load_sink, online=online, lost=lost
             )
             if profiled:
                 one_hop_s = clock() - started
@@ -530,7 +581,13 @@ class SearchSimulator:
                 record = QueryRecord(
                     index=rates.requests,
                     peer=peer,
-                    file_id=file_id,
+                    # The lifecycle record crosses the boundary back to
+                    # public string ids (trace events keep their schema).
+                    file_id=(
+                        self._compiled.file_ids[file_key]
+                        if self._compiled is not None
+                        else file_key
+                    ),
                     outcome="fallback",
                     hops=len(first_hop),
                     one_hop_s=one_hop_s,
@@ -547,7 +604,7 @@ class SearchSimulator:
                     record.hit_position = len(first_hop)
             elif config.two_hop:
                 started = clock() if profiled else 0.0
-                answerer = self._query_two_hop(peer, file_id, first_hop, load_sink)
+                answerer = self._query_two_hop(peer, file_key, first_hop, load_sink)
                 if profiled:
                     two_hop_s = clock() - started
                     obs.record_span(
@@ -587,7 +644,7 @@ class SearchSimulator:
             if exchanges is not None:
                 edge = (answerer, peer)
                 exchanges[edge] = exchanges.get(edge, 0) + 1
-            self._add_to_cache(peer, file_id)
+            self._add_to_cache(peer, file_key)
 
         if profiled:
             obs.record_span(
@@ -614,7 +671,11 @@ class SearchSimulator:
             rates=rates,
             load=load,
             num_peers=self.trace.num_clients,
-            num_files=len(self.trace.distinct_files()),
+            num_files=(
+                self._compiled.num_files
+                if self._compiled is not None
+                else len(self.trace.distinct_files())
+            ),
             unresolvable=unresolvable,
             probes_lost=self._probes_lost,
             evictions=self._evictions,
@@ -634,9 +695,12 @@ def simulate_search(
     config: Optional[SearchConfig] = None,
     obs: Optional[Observer] = None,
     ctx: Optional["RunContext"] = None,
+    use_compiled: bool = True,
 ) -> SimulationResult:
     """One-call helper: build a simulator and run it."""
-    return SearchSimulator(trace, config, obs=obs, ctx=ctx).run()
+    return SearchSimulator(
+        trace, config, obs=obs, ctx=ctx, use_compiled=use_compiled
+    ).run()
 
 
 # ----------------------------------------------------------------------

@@ -17,15 +17,8 @@ per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
 import importlib
 import pkgutil
 
-from repro.experiments.configs import (
-    Scale,
-    get_extrapolated_trace,
-    get_filtered_trace,
-    get_static_trace,
-    get_temporal_trace,
-    workload_config,
-)
 from repro.experiments.result import ExperimentResult
+from repro.runtime.scale import Scale, workload_config
 
 # Import every sibling module so each @experiment decorator runs.  New
 # experiment modules are picked up automatically — no import list to
@@ -45,14 +38,5 @@ _RUNNERS = {
 globals().update(_RUNNERS)
 
 __all__ = sorted(
-    [
-        "ExperimentResult",
-        "Scale",
-        "get_extrapolated_trace",
-        "get_filtered_trace",
-        "get_static_trace",
-        "get_temporal_trace",
-        "workload_config",
-    ]
-    + list(_RUNNERS)
+    ["ExperimentResult", "Scale", "workload_config"] + list(_RUNNERS)
 )

@@ -60,11 +60,23 @@ class OverlayResult:
 
 
 class SemanticOverlaySimulator:
-    """Builds and evaluates the epidemic semantic overlay."""
+    """Builds and evaluates the epidemic semantic overlay.
 
-    def __init__(self, trace: StaticTrace, config: Optional[OverlayConfig] = None) -> None:
+    ``use_compiled`` (the default) runs the proximity computations and
+    the search evaluation on the trace's compiled form (interned int
+    sets); ``use_compiled=False`` keeps the original string sets.  Views,
+    metrics and RNG draws are identical either way.
+    """
+
+    def __init__(
+        self,
+        trace: StaticTrace,
+        config: Optional[OverlayConfig] = None,
+        use_compiled: bool = True,
+    ) -> None:
         self.trace = trace
         self.config = config or OverlayConfig()
+        self._compiled = trace.compiled() if use_compiled else None
         sharers = [c for c, cache in trace.caches.items() if cache]
         if len(sharers) < 2:
             raise ValueError("need at least 2 sharers to build an overlay")
@@ -77,6 +89,7 @@ class SemanticOverlaySimulator:
             self.cyclon,
             config=self.config.vicinity,
             seed=self.config.seed,
+            use_compiled=use_compiled,
         )
         self._ideal: Optional[Dict[ClientId, List[ClientId]]] = None
 
@@ -85,7 +98,13 @@ class SemanticOverlaySimulator:
     def semantic_hit_rate(self) -> float:
         """Fraction of (peer, cached file) queries answerable by the
         peer's current semantic view."""
-        caches = self.trace.caches
+        compiled = self._compiled
+        if compiled is not None:
+            row = compiled.client_row
+            sets = compiled.cache_sets
+            caches = {peer: sets[row[peer]] for peer in self.sharers}
+        else:
+            caches = self.trace.caches
         hits = 0
         total = 0
         for peer in self.sharers:

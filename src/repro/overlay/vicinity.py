@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
+from repro.trace.compiled import FileInterner
 from repro.trace.model import ClientId, FileId
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
@@ -28,7 +29,12 @@ CacheMap = Mapping[ClientId, FrozenSet[FileId]]
 def cache_proximity(
     caches: CacheMap, a: ClientId, b: ClientId, jaccard: bool = False
 ) -> float:
-    """Semantic proximity of two peers: cache overlap (or Jaccard)."""
+    """Semantic proximity of two peers: cache overlap (or Jaccard).
+
+    Works on any cache map whose values support set intersection — the
+    public string-keyed caches or an interned int-set view; both give
+    the same value (only sizes enter the formula).
+    """
     cache_a = caches[a]
     cache_b = caches[b]
     if not cache_a or not cache_b:
@@ -36,7 +42,7 @@ def cache_proximity(
     common = len(cache_a & cache_b)
     if not jaccard:
         return float(common)
-    union = len(cache_a | cache_b)
+    union = len(cache_a) + len(cache_b) - common
     return common / union if union else 0.0
 
 
@@ -56,7 +62,14 @@ class VicinityConfig:
 
 
 class Vicinity:
-    """Round-based Vicinity simulation on top of a Cyclon instance."""
+    """Round-based Vicinity simulation on top of a Cyclon instance.
+
+    ``use_compiled`` (the default) interns the cache map to frozen sets
+    of ints once at construction, so the proximity computations — the
+    hot path of every gossip round — intersect int sets instead of
+    string sets.  Proximity values, and therefore views and RNG draws,
+    are identical either way.
+    """
 
     def __init__(
         self,
@@ -64,8 +77,15 @@ class Vicinity:
         cyclon,
         config: Optional[VicinityConfig] = None,
         seed: int = 0,
+        use_compiled: bool = True,
     ) -> None:
         self.caches = caches
+        if use_compiled:
+            self._prox_caches: CacheMap = FileInterner().intern_cache_map(
+                caches
+            )
+        else:
+            self._prox_caches = caches
         self.cyclon = cyclon
         self.config = config or VicinityConfig()
         self.rng = RngStream(seed, "vicinity")
@@ -87,7 +107,9 @@ class Vicinity:
         key = (a, b) if a <= b else (b, a)
         value = self._proximity_cache.get(key)
         if value is None:
-            value = cache_proximity(self.caches, a, b, jaccard=self.config.jaccard)
+            value = cache_proximity(
+                self._prox_caches, a, b, jaccard=self.config.jaccard
+            )
             self._proximity_cache[key] = value
         return value
 

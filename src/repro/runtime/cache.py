@@ -5,11 +5,12 @@ sharing: the shared cache below means the ~20 benchmarks — and a
 ``run-all`` batch — generate each trace variant once per process instead
 of once per experiment.
 
-This replaces the old module-level ``functools.lru_cache`` quartet in
-``repro.experiments.configs``: one cache object, one bound across all four
-trace variants, an explicit :meth:`TraceCache.clear` for tests, and the
-option of a private cache per :class:`~repro.runtime.context.RunContext`
-when isolation matters more than sharing.
+This replaces the old module-level ``functools.lru_cache`` quartet that
+used to live in ``repro.experiments.configs``: one cache object, one
+bound across all trace variants (including the compiled form), an
+explicit :meth:`TraceCache.clear` for tests, and the option of a private
+cache per :class:`~repro.runtime.context.RunContext` when isolation
+matters more than sharing.
 """
 
 from __future__ import annotations
@@ -118,6 +119,18 @@ class TraceCache:
         filtering would).
         """
         return self._get("static", scale, seed, lambda: _build_static(scale, seed))
+
+    def compiled(self, scale: Scale = Scale.DEFAULT, seed: int = DEFAULT_SEED):
+        """The compiled form of the static trace (interned/columnar).
+
+        Cached under its own key so a hit skips recompilation even if the
+        underlying static entry was evicted; when the static trace *is*
+        still cached, this returns its memoized ``.compiled()`` value, so
+        the two keys share one object.
+        """
+        return self._get(
+            "compiled", scale, seed, lambda: self.static(scale, seed).compiled()
+        )
 
 
 def _build_static(scale: Scale, seed: int) -> StaticTrace:

@@ -109,6 +109,10 @@ class RunContext:
     def static_trace(self):
         return self.traces.static(self.scale, self.seed)
 
+    def compiled_trace(self):
+        """The compiled (interned, columnar) form of the static trace."""
+        return self.traces.compiled(self.scale, self.seed)
+
     # ------------------------------------------------------------------
     # Component factories
 

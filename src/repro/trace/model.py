@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -30,6 +31,9 @@ from typing import (
     Set,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.compiled import CompiledTrace
 
 FileId = str
 ClientId = int
@@ -119,6 +123,9 @@ class Trace:
         self._dirty = True
         self._static_caches: Dict[ClientId, Set[FileId]] = {}
         self._observation_days: Dict[ClientId, List[int]] = {}
+        # Memoized replica counts, invalidated on observe/add_snapshot.
+        self._static_counts: Optional[Counter] = None
+        self._day_counts: Dict[int, Counter] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -142,6 +149,8 @@ class Trace:
             self._snapshot_count += 1
         day_map[snapshot.client_id] = snapshot.file_ids
         self._dirty = True
+        self._static_counts = None
+        self._day_counts.pop(snapshot.day, None)
 
     def observe(self, day: int, client_id: ClientId, file_ids: Iterable[FileId]) -> None:
         """Convenience wrapper around :meth:`add_snapshot`."""
@@ -236,19 +245,32 @@ class Trace:
         ]
 
     def replica_counts(self, day: int) -> Counter:
-        """Counter file_id -> number of sources on ``day``."""
-        counts: Counter = Counter()
-        for cache in self._snapshots.get(day, {}).values():
-            counts.update(cache)
-        return counts
+        """Counter file_id -> number of sources on ``day``.
+
+        Memoized per day; re-observing a day drops that day's memo.  The
+        returned Counter is a copy — callers may mutate it freely.
+        """
+        memo = self._day_counts.get(day)
+        if memo is None:
+            memo = Counter()
+            for cache in self._snapshots.get(day, {}).values():
+                memo.update(cache)
+            self._day_counts[day] = memo
+        return Counter(memo)
 
     def static_replica_counts(self) -> Counter:
-        """Counter file_id -> number of distinct clients that ever shared it."""
-        self._rebuild()
-        counts: Counter = Counter()
-        for cache in self._static_caches.values():
-            counts.update(cache)
-        return counts
+        """Counter file_id -> number of distinct clients that ever shared it.
+
+        Memoized; any new snapshot invalidates.  The returned Counter is
+        a copy — callers may mutate it freely.
+        """
+        if self._static_counts is None:
+            self._rebuild()
+            counts: Counter = Counter()
+            for cache in self._static_caches.values():
+                counts.update(cache)
+            self._static_counts = counts
+        return Counter(self._static_counts)
 
     def file_observation_days(self) -> Dict[FileId, int]:
         """For each file, the number of distinct days it was seen on."""
@@ -333,6 +355,32 @@ class StaticTrace:
     caches: Dict[ClientId, FrozenSet[FileId]]
     files: Dict[FileId, FileMeta] = field(default_factory=dict)
     clients: Dict[ClientId, ClientMeta] = field(default_factory=dict)
+    # Memoized derived views.  Every StaticTrace-producing operation in
+    # the library returns a *new* instance, so these never go stale; the
+    # escape hatch for in-place cache mutation is invalidate_compiled().
+    _compiled: Optional["CompiledTrace"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _replica_counts: Optional[Counter] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def compiled(self) -> "CompiledTrace":
+        """The interned, columnar view of this trace (built once, cached).
+
+        See :mod:`repro.trace.compiled` for the representation and the
+        byte-identity guarantee.
+        """
+        if self._compiled is None:
+            from repro.trace.compiled import CompiledTrace
+
+            self._compiled = CompiledTrace.from_static(self)
+        return self._compiled
+
+    def invalidate_compiled(self) -> None:
+        """Drop memoized views after an in-place mutation of ``caches``."""
+        self._compiled = None
+        self._replica_counts = None
 
     @property
     def num_clients(self) -> int:
@@ -345,10 +393,16 @@ class StaticTrace:
         return [c for c, cache in self.caches.items() if not cache]
 
     def replica_counts(self) -> Counter:
-        counts: Counter = Counter()
-        for cache in self.caches.values():
-            counts.update(cache)
-        return counts
+        """Counter file_id -> replica count (memoized; returns a copy)."""
+        if self._replica_counts is None:
+            if self._compiled is not None:
+                self._replica_counts = self._compiled.replica_counts()
+            else:
+                counts: Counter = Counter()
+                for cache in self.caches.values():
+                    counts.update(cache)
+                self._replica_counts = counts
+        return Counter(self._replica_counts)
 
     def total_replicas(self) -> int:
         return sum(len(cache) for cache in self.caches.values())

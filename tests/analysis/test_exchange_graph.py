@@ -117,7 +117,7 @@ class TestSummary:
 
 class TestExperiment:
     def test_run_exchange_graph(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.extension_experiments import run_exchange_graph
 
         result = run_exchange_graph(scale=Scale.SMALL)

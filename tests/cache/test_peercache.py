@@ -172,7 +172,7 @@ class TestSimulation:
 
 class TestExperiment:
     def test_run_peercache_small(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.peercache_experiments import run_peercache
 
         result = run_peercache(scale=Scale.SMALL)

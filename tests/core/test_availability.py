@@ -105,7 +105,7 @@ class TestRareTracking:
 
 class TestExtensionExperiments:
     def test_strategy_comparison_small(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.extension_experiments import (
             run_strategy_comparison,
         )
@@ -117,7 +117,7 @@ class TestExtensionExperiments:
             assert 0.0 <= result.metric(f"{strategy}_overall") <= 1.0
 
     def test_availability_sweep_small(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.extension_experiments import (
             run_availability_sweep,
         )
@@ -131,7 +131,7 @@ class TestExtensionExperiments:
 
 class TestLoyaltySensitivity:
     def test_small_scale_monotone(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.extension_experiments import (
             run_loyalty_sensitivity,
         )

@@ -167,3 +167,67 @@ class TestFactory:
     def test_random_requires_population(self):
         with pytest.raises(ValueError):
             make_strategy("random", 5)
+
+
+class TestMembershipProbeCost:
+    """Audit: ``contains``/``position`` are O(1) membership probes that do
+    not enumerate the list.  The two-hop fast path issues one membership
+    probe per (sharer, first-hop neighbour) pair, so routing ``contains``
+    through ``ordered()`` would turn every probe into a rebuild-and-scan;
+    counting both during a real run pins the separation."""
+
+    @pytest.mark.parametrize("cls", [LRUNeighbours, HistoryNeighbours,
+                                     PopularityNeighbours])
+    def test_contains_never_calls_ordered(self, monkeypatch, cls):
+        strategy = cls(5)
+        for peer in (1, 2, 3):
+            strategy.record_upload(peer)
+        calls = {"ordered": 0}
+        original = cls.ordered
+
+        def counting_ordered(self):
+            calls["ordered"] += 1
+            return original(self)
+
+        monkeypatch.setattr(cls, "ordered", counting_ordered)
+        assert strategy.contains(1)
+        assert not strategy.contains(99)
+        assert strategy.position(1) is not None
+        assert calls["ordered"] == 0
+
+    @pytest.mark.parametrize("name, cls", [
+        ("lru", LRUNeighbours),
+        ("history", HistoryNeighbours),
+        ("popularity", PopularityNeighbours),
+    ])
+    def test_two_hop_run_probes_more_than_it_enumerates(
+        self, monkeypatch, name, cls, small_static_trace
+    ):
+        from repro.core.search import SearchConfig, simulate_search
+
+        counts = {"ordered": 0, "contains": 0}
+        original_ordered = cls.ordered
+        original_contains = cls.contains
+
+        def counting_ordered(self):
+            counts["ordered"] += 1
+            return original_ordered(self)
+
+        def counting_contains(self, peer):
+            counts["contains"] += 1
+            return original_contains(self, peer)
+
+        monkeypatch.setattr(cls, "ordered", counting_ordered)
+        monkeypatch.setattr(cls, "contains", counting_contains)
+        simulate_search(
+            small_static_trace,
+            SearchConfig(
+                list_size=5, strategy=name, two_hop=True,
+                track_load=False, seed=1,
+            ),
+        )
+        assert counts["contains"] > 0
+        # One enumeration per issued query (plus warm-up); membership
+        # probes dominate because every one-hop miss fans out to
+        # (sharers x first-hop) contains probes.
+        assert counts["ordered"] < counts["contains"]

@@ -82,7 +82,10 @@ class TestInvariants:
 
 class TestSwapRules:
     def make_state(self, caches):
-        return _SwapState(build_static(caches))
+        # The legacy engine keeps string (peer, file) slots, which these
+        # white-box assertions index into; the compiled engine's
+        # equivalence is pinned in test_compiled_equivalence.py.
+        return _SwapState(build_static(caches), use_compiled=False)
 
     def test_swap_same_peer_refused(self):
         state = self.make_state({0: ["a", "b"]})

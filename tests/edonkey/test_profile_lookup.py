@@ -11,7 +11,7 @@ import dataclasses
 
 from repro.edonkey.crawler import Crawler, CrawlerConfig
 from repro.edonkey.network import NetworkConfig, build_network
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 
 
 class CountingList(list):

@@ -148,7 +148,7 @@ class TestLiveSimulation:
             NetworkConfig(semantic_list_size=0)
 
     def test_experiment_wrapper(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.live_semantic import run_live_semantic
 
         result = run_live_semantic(

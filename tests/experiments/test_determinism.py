@@ -6,7 +6,7 @@ import pytest
 
 from repro import experiments as E
 from repro.experiments import Scale
-from repro.experiments.configs import clear_trace_cache
+from repro.runtime.cache import SHARED_TRACE_CACHE
 
 SCALE = Scale.SMALL
 
@@ -18,7 +18,7 @@ SCALE = Scale.SMALL
 def test_metrics_stable_across_cache_clears(runner_name):
     runner = getattr(E, runner_name)
     first = runner(scale=SCALE).metrics
-    clear_trace_cache()
+    SHARED_TRACE_CACHE.clear()
     second = runner(scale=SCALE).metrics
     assert first == second
 
@@ -30,6 +30,6 @@ def test_different_seeds_change_metrics():
 
 
 def test_cache_clear_is_safe_mid_session():
-    clear_trace_cache()
+    SHARED_TRACE_CACHE.clear()
     result = E.run_figure04(scale=SCALE)
     assert result.metric("share_FR") > 0

@@ -11,6 +11,7 @@ import pytest
 
 from repro import experiments as E
 from repro.experiments import Scale
+from repro.runtime.cache import SHARED_TRACE_CACHE
 
 SCALE = Scale.SMALL
 
@@ -18,10 +19,10 @@ SCALE = Scale.SMALL
 @pytest.fixture(scope="module", autouse=True)
 def warm_cache():
     """Generate the shared traces once for the whole module."""
-    E.get_temporal_trace(SCALE)
-    E.get_filtered_trace(SCALE)
-    E.get_extrapolated_trace(SCALE)
-    E.get_static_trace(SCALE)
+    SHARED_TRACE_CACHE.temporal(SCALE)
+    SHARED_TRACE_CACHE.filtered(SCALE)
+    SHARED_TRACE_CACHE.extrapolated(SCALE)
+    SHARED_TRACE_CACHE.static(SCALE)
 
 
 class TestTable1:

@@ -13,7 +13,7 @@ import dataclasses
 from repro.core.search import SearchConfig, simulate_search
 from repro.edonkey.crawler import Crawler, CrawlerConfig
 from repro.edonkey.network import NetworkConfig, build_network
-from repro.experiments.configs import Scale, workload_config
+from repro.runtime.scale import Scale, workload_config
 from repro.faults import FaultConfig, RetryPolicy
 from repro.obs import Observer, TraceRecorder
 from repro.trace.io import dumps_trace

@@ -78,7 +78,7 @@ class TestRun:
 
 class TestExperiment:
     def test_run_gossip_overlay_small(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.overlay_experiments import run_gossip_overlay
 
         result = run_gossip_overlay(scale=Scale.SMALL, rounds=12)
@@ -125,7 +125,7 @@ class TestOverlayVsReactive:
         assert list(strategy.ordered()) == [1, 2, 3]
 
     def test_experiment_ordering(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.overlay_experiments import (
             run_overlay_vs_reactive,
         )

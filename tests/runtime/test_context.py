@@ -57,11 +57,17 @@ class TestContextTraces:
         assert ("static", Scale.SMALL, 3) in private
         assert trace is ctx.static_trace()  # second call hits
 
-    def test_trace_matches_configs_shim(self):
-        from repro.experiments.configs import get_static_trace
-
+    def test_trace_matches_shared_cache(self):
         ctx = RunContext(seed=3, scale=Scale.SMALL)
-        assert ctx.static_trace() is get_static_trace(Scale.SMALL, 3)
+        assert ctx.static_trace() is SHARED_TRACE_CACHE.static(Scale.SMALL, 3)
+
+    def test_compiled_trace_is_cached(self):
+        private = TraceCache(maxsize=4)
+        ctx = RunContext(seed=3, scale=Scale.SMALL, traces=private)
+        compiled = ctx.compiled_trace()
+        assert ("compiled", Scale.SMALL, 3) in private
+        assert compiled is ctx.compiled_trace()  # hit skips recompilation
+        assert compiled is ctx.static_trace().compiled()  # shared object
 
 
 class TestTraceCache:

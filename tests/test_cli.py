@@ -5,7 +5,7 @@ import argparse
 import pytest
 
 from repro.cli import EXPERIMENT_IDS, _scale, build_parser, main
-from repro.experiments.configs import Scale
+from repro.runtime.scale import Scale
 
 
 class TestParser:

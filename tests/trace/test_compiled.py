@@ -1,0 +1,178 @@
+"""Tests for the compiled trace substrate: intern tables, columnar
+caches, the inverted index and the overlap kernels."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.semantic import pair_overlaps
+from repro.trace.compiled import CompiledTrace, FileInterner
+from repro.trace.model import StaticTrace
+from repro.util.rng import RngStream
+from tests.conftest import build_static
+
+
+@pytest.fixture
+def trace() -> StaticTrace:
+    return build_static(
+        {
+            0: ["beta", "alpha", "gamma"],
+            1: ["alpha", "delta"],
+            2: [],
+            3: ["gamma", "alpha"],
+        }
+    )
+
+
+@pytest.fixture
+def compiled(trace) -> CompiledTrace:
+    return trace.compiled()
+
+
+class TestInterning:
+    def test_monotone_intern(self, compiled):
+        """Indices are assigned in sorted string order, so sorting int
+        columns visits files in sorted-string order."""
+        assert list(compiled.file_ids) == sorted(compiled.file_ids)
+        assert compiled.file_idx("alpha") < compiled.file_idx("beta")
+        assert compiled.file_idx("beta") < compiled.file_idx("gamma")
+
+    def test_round_trip(self, compiled):
+        for idx, fid in enumerate(compiled.file_ids):
+            assert compiled.file_idx(fid) == idx
+            assert compiled.file_id(idx) == fid
+        ids = ["delta", "alpha"]
+        assert compiled.to_file_ids(compiled.to_file_indices(ids)) == ids
+
+    def test_unknown_file_raises(self, compiled):
+        with pytest.raises(KeyError):
+            compiled.file_idx("nope")
+
+    def test_client_rows_keep_caches_order(self, trace, compiled):
+        assert list(compiled.client_ids) == list(trace.caches)
+        for cid in trace.caches:
+            assert compiled.client_ids[compiled.row_of(cid)] == cid
+
+
+class TestColumns:
+    def test_sizes(self, trace, compiled):
+        assert compiled.num_clients == len(trace.caches)
+        assert compiled.num_files == len(trace.distinct_files())
+        assert compiled.total_replicas == trace.total_replicas()
+
+    def test_columns_are_sorted_interned_caches(self, trace, compiled):
+        for cid, cache in trace.caches.items():
+            column = compiled.cache_column(cid)
+            assert list(column) == sorted(column)
+            assert compiled.to_file_ids(column) == sorted(cache)
+            assert compiled.cache_size(cid) == len(cache)
+            assert compiled.cache_set(cid) == set(column)
+
+    def test_shares_matches_caches(self, trace, compiled):
+        for cid, cache in trace.caches.items():
+            for fid in compiled.file_ids:
+                assert compiled.shares(cid, compiled.file_idx(fid)) == (
+                    fid in cache
+                )
+
+    def test_shares_unknown_client_is_false(self, compiled):
+        assert not compiled.shares("ghost", 0)
+
+
+class TestInvertedIndex:
+    def test_sharers_match_caches(self, trace, compiled):
+        for fid in compiled.file_ids:
+            idx = compiled.file_idx(fid)
+            expected = sorted(
+                c for c, cache in trace.caches.items() if fid in cache
+            )
+            assert sorted(compiled.sharer_ids(idx)) == expected
+            assert compiled.replica_count(idx) == len(expected)
+            rows = list(compiled.sharer_rows_of(idx))
+            assert rows == sorted(rows)
+
+    def test_replica_counts_boundary(self, trace, compiled):
+        expected = Counter()
+        for cache in trace.caches.values():
+            expected.update(cache)
+        assert compiled.replica_counts() == expected
+        assert 0 not in compiled.replica_counts().values()
+
+
+class TestOverlapKernels:
+    def test_overlap_pairwise(self, trace, compiled):
+        for a in trace.caches:
+            for b in trace.caches:
+                assert compiled.overlap(a, b) == len(
+                    trace.caches[a] & trace.caches[b]
+                )
+
+    def test_pair_overlaps_matches_legacy(self, trace, compiled):
+        legacy = pair_overlaps(dict(trace.caches), use_compiled=False)
+        assert compiled.pair_overlaps() == legacy
+        assert pair_overlaps(compiled) == legacy
+
+    def test_pair_overlaps_with_filter(self, trace, compiled):
+        keep = lambda fid: fid != "alpha"
+        legacy = pair_overlaps(
+            dict(trace.caches), file_filter=keep, use_compiled=False
+        )
+        assert pair_overlaps(compiled, file_filter=keep) == legacy
+
+    def test_both_kernels_agree(self, compiled):
+        mask = [True] * compiled.num_files
+        assert compiled._pair_overlaps_counter(None) == compiled.pair_overlaps()
+        assert compiled._pair_overlaps_counter(mask) == compiled.pair_overlaps(
+            mask
+        )
+
+    def test_subsampling_requires_cache_map(self, compiled):
+        with pytest.raises(ValueError, match="cache map"):
+            pair_overlaps(
+                compiled, max_sources_per_file=2, rng=RngStream(0)
+            )
+
+    def test_empty_trace(self):
+        compiled = StaticTrace(caches={}).compiled()
+        assert compiled.num_clients == 0
+        assert compiled.num_files == 0
+        assert compiled.pair_overlaps() == {}
+
+
+class TestMemoization:
+    def test_compiled_is_cached_on_the_instance(self, trace):
+        assert trace.compiled() is trace.compiled()
+
+    def test_invalidate_compiled_recompiles(self, trace):
+        first = trace.compiled()
+        trace.invalidate_compiled()
+        second = trace.compiled()
+        assert second is not first
+        assert second.file_ids == first.file_ids
+
+    def test_derived_traces_compile_fresh(self, trace):
+        derived = trace.without_clients([0])
+        assert derived.compiled() is not trace.compiled()
+        assert 0 not in derived.compiled().client_row
+
+
+class TestFileInterner:
+    def test_first_seen_order(self):
+        interner = FileInterner()
+        assert interner.intern("z") == 0
+        assert interner.intern("a") == 1
+        assert interner.intern("z") == 0
+        assert len(interner) == 2
+
+    def test_intern_preserves_set_arithmetic(self):
+        interner = FileInterner()
+        a = interner.intern_set(["x", "y", "z"])
+        b = interner.intern_set(["y", "z", "w"])
+        assert len(a & b) == 2
+        assert len(a | b) == 4
+
+    def test_intern_cache_map(self):
+        caches = {1: frozenset(["a", "b"]), 2: frozenset(["b"])}
+        interned = FileInterner().intern_cache_map(caches)
+        assert set(interned) == {1, 2}
+        assert len(interned[1] & interned[2]) == 1

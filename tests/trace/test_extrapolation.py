@@ -147,7 +147,7 @@ class TestFillModes:
             assert prev.cache(0, day) <= union.cache(0, day)
 
     def test_experiment_runs(self):
-        from repro.experiments.configs import Scale
+        from repro.runtime.scale import Scale
         from repro.experiments.extension_experiments import (
             run_extrapolation_ablation,
         )
