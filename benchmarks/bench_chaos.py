@@ -1,0 +1,76 @@
+"""Extension: crash-resilience of the checkpointed crawler.
+
+Runs a chaos campaign (SIGKILL a checkpointing CLI crawl at seeded
+random days, resume it, diff the final artefacts against an
+uninterrupted reference) and asserts the crash-safety contract: every
+trial must end byte-identical in its trace, equal in its metrics
+counters, and structurally sound in its restored network.
+
+Also measures the overhead question a checkpoint layer must answer:
+how much wall-clock does per-day checkpointing add to an otherwise
+identical crawl?  The ratio is recorded in the result metrics (it is
+machine-specific — a shape reference, not a number to equal).
+"""
+
+import time
+
+from benchmarks.conftest import record, run_once
+from repro.experiments import Scale
+from repro.experiments.chaos_experiment import run_chaos
+
+
+def _timed_crawl(checkpoint_dir=None):
+    import dataclasses
+
+    from repro.edonkey.crawler import Crawler, CrawlerConfig
+    from repro.edonkey.network import NetworkConfig, build_network
+    from repro.runtime import DEFAULT_SEED, workload_config
+
+    clients, days = 60, 4
+    workload = dataclasses.replace(
+        workload_config(Scale.SMALL),
+        num_clients=clients,
+        num_files=max(clients * 15, 500),
+        days=days,
+        mainstream_pool_size=min(clients, max(clients * 15, 500)),
+    )
+    network = build_network(
+        NetworkConfig(workload=workload), seed=DEFAULT_SEED
+    )
+    crawler = Crawler(network, CrawlerConfig(days=days), seed=DEFAULT_SEED)
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.checkpoint import Checkpointer
+
+        checkpointer = Checkpointer(checkpoint_dir)
+    start = time.perf_counter()
+    trace = crawler.crawl(checkpointer=checkpointer)
+    return time.perf_counter() - start, trace
+
+
+def test_chaos_resilience(benchmark, tmp_path):
+    result = run_once(
+        benchmark,
+        run_chaos,
+        scale=Scale.TINY,
+        trials=2,
+        kills=2,
+        num_clients=40,
+        days=5,
+    )
+
+    # Checkpoint overhead: the same crawl with and without per-day
+    # snapshots, summarized as a ratio in the recorded metrics.
+    plain_secs, plain_trace = _timed_crawl()
+    ckpt_secs, ckpt_trace = _timed_crawl(checkpoint_dir=tmp_path / "ckpt")
+    assert ckpt_trace.num_snapshots == plain_trace.num_snapshots
+    result.metrics["checkpoint_overhead_x"] = (
+        ckpt_secs / plain_secs if plain_secs > 0 else 1.0
+    )
+    record(result)
+
+    # The crash-safety contract, not a statistical trend: every trial
+    # must resume to byte-identical artefacts.
+    assert result.metric("passed") == 1.0
+    assert result.metric("equivalence_rate") == 1.0
+    assert result.metric("kills") >= result.metric("trials")

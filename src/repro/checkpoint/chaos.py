@@ -1,0 +1,318 @@
+"""The chaos-resilience harness: kill, resume, prove equivalence.
+
+A checkpoint layer that has only ever been exercised by polite tests is
+not a crash-safety story.  :class:`ChaosRunner` runs a seeded crawl in
+a subprocess, SIGKILLs it at randomized (seeded) day boundaries, resumes
+it — possibly killing it again — and then holds the final artefacts to
+the resume-equivalence contract:
+
+- the saved trace file must be **byte-identical** to an uninterrupted
+  reference run's;
+- the run metrics (``repro.metrics/2``) must carry equal counters,
+  gauges and histograms (span *timings* are wall-clock and excluded);
+- the restored network must pass
+  :meth:`~repro.edonkey.network.Network.check_invariants` — sessions,
+  indexes and caches must agree after the round-trip.
+
+The reference run checkpoints too (without being killed), so
+checkpoint-related counters match between the two runs.  Everything is
+driven through the real CLI (``python -m repro crawl``) in
+subprocesses: the harness proves the user-facing resume path, not a
+private shortcut.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.checkpoint.store import Checkpointer
+from repro.obs import NULL_OBSERVER, Observer, RunMetrics
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass
+class ChaosSpec:
+    """Shape of one chaos campaign."""
+
+    clients: int = 60
+    days: int = 6
+    seed: int = 0
+    #: SIGKILLs per trial (each at a distinct, seeded day boundary).
+    kills: int = 1
+    #: optional message loss during the crawl — chaos under faults.
+    loss_rate: float = 0.0
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("clients", self.clients)
+        check_positive("days", self.days)
+        check_positive("kills", self.kills)
+        check_fraction("loss_rate", self.loss_rate)
+        if self.days < 2:
+            raise ValueError("chaos needs days >= 2 (a day to kill at)")
+
+
+@dataclass
+class ChaosTrial:
+    """Outcome of one kill/resume cycle."""
+
+    kill_days: List[int]
+    killed_ok: bool  # every kill actually terminated the subprocess
+    trace_identical: bool
+    metrics_equal: bool
+    metrics_differences: List[str] = field(default_factory=list)
+    invariant_problems: List[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return (
+            self.killed_ok
+            and self.trace_identical
+            and self.metrics_equal
+            and not self.invariant_problems
+        )
+
+
+@dataclass
+class ChaosReport:
+    """A whole campaign: reference + trials."""
+
+    spec: ChaosSpec
+    trials: List[ChaosTrial] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.trials) and all(t.equivalent for t in self.trials)
+
+    def as_lineage(self) -> Dict[str, object]:
+        """Manifest ``lineage`` payload: what was killed where."""
+        return {
+            "harness": "chaos",
+            "trials": len(self.trials),
+            "kill_days": [t.kill_days for t in self.trials],
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: {len(self.trials)} trial(s), "
+            f"{self.spec.kills} kill(s) each, "
+            f"{self.spec.clients} clients x {self.spec.days} days"
+        ]
+        for i, trial in enumerate(self.trials):
+            status = "equivalent" if trial.equivalent else "DIVERGED"
+            detail = []
+            if not trial.killed_ok:
+                detail.append("kill did not terminate the run")
+            if not trial.trace_identical:
+                detail.append("trace bytes differ")
+            if not trial.metrics_equal:
+                detail.append(
+                    "metrics differ: " + "; ".join(trial.metrics_differences[:3])
+                )
+            if trial.invariant_problems:
+                detail.append(
+                    "invariants: " + "; ".join(trial.invariant_problems[:3])
+                )
+            suffix = f" ({', '.join(detail)})" if detail else ""
+            lines.append(
+                f"  trial {i}: killed at days {trial.kill_days} -> "
+                f"{status}{suffix}"
+            )
+        return "\n".join(lines)
+
+
+#: metrics sections compared for equality (spans are wall-clock noise,
+#: ``run`` is identity metadata).
+_COMPARED_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def compare_metrics(
+    reference: RunMetrics, candidate: RunMetrics
+) -> List[str]:
+    """Differences in the deterministic metric sections (empty = equal)."""
+    differences: List[str] = []
+    for section in _COMPARED_SECTIONS:
+        ref = getattr(reference, section)
+        cand = getattr(candidate, section)
+        for name in sorted(set(ref) | set(cand)):
+            if name not in ref:
+                differences.append(f"{section}[{name!r}] only in candidate")
+            elif name not in cand:
+                differences.append(f"{section}[{name!r}] only in reference")
+            elif ref[name] != cand[name]:
+                differences.append(
+                    f"{section}[{name!r}]: {ref[name]!r} != {cand[name]!r}"
+                )
+    return differences
+
+
+class ChaosRunner:
+    """Runs kill/resume campaigns against the CLI crawl path."""
+
+    def __init__(
+        self,
+        spec: ChaosSpec,
+        workdir,
+        obs: Optional[Observer] = None,
+    ) -> None:
+        self.spec = spec
+        self.workdir = Path(workdir)
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        self.rng = RngStream(spec.seed, "chaos")
+
+    # ------------------------------------------------------------------
+    # Subprocess plumbing
+
+    def _crawl_command(
+        self, trace_path: Path, metrics_path: Path, checkpoint_dir: Path
+    ) -> List[str]:
+        spec = self.spec
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "crawl",
+            "--seed",
+            str(spec.seed),
+            "--clients",
+            str(spec.clients),
+            "--days",
+            str(spec.days),
+            "--output",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+            "--checkpoint-dir",
+            str(checkpoint_dir),
+        ]
+        if spec.loss_rate > 0:
+            cmd += ["--loss-rate", str(spec.loss_rate)]
+        if spec.retries > 0:
+            cmd += ["--retries", str(spec.retries)]
+        return cmd
+
+    def _run(self, cmd: List[str]) -> subprocess.CompletedProcess:
+        import repro
+
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else src_dir + os.pathsep + existing
+        )
+        return subprocess.run(
+            cmd, capture_output=True, text=True, env=env, check=False
+        )
+
+    # ------------------------------------------------------------------
+    # Campaign
+
+    def draw_kill_days(self) -> List[int]:
+        """Distinct ascending day offsets to kill at (never the last day,
+        so every trial exercises at least one genuinely resumed day)."""
+        candidates = list(range(self.spec.days - 1))
+        count = min(self.spec.kills, len(candidates))
+        return sorted(self.rng.sample_without_replacement(candidates, count))
+
+    def reference(self) -> Dict[str, Path]:
+        """One uninterrupted (but checkpointing) run; returns artefacts."""
+        ref_dir = self.workdir / "reference"
+        ref_dir.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": ref_dir / "trace.jsonl",
+            "metrics": ref_dir / "metrics.json",
+            "checkpoints": ref_dir / "checkpoints",
+        }
+        with self.obs.span("chaos/reference"):
+            proc = self._run(
+                self._crawl_command(
+                    paths["trace"], paths["metrics"], paths["checkpoints"]
+                )
+            )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"reference crawl failed (rc={proc.returncode}):\n"
+                f"{proc.stdout}\n{proc.stderr}"
+            )
+        return paths
+
+    def trial(self, index: int, reference_paths: Dict[str, Path]) -> ChaosTrial:
+        """One kill/resume cycle against the reference artefacts."""
+        kill_days = self.draw_kill_days()
+        trial_dir = self.workdir / f"trial-{index}"
+        trial_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = trial_dir / "trace.jsonl"
+        metrics_path = trial_dir / "metrics.json"
+        checkpoint_dir = trial_dir / "checkpoints"
+        base = self._crawl_command(trace_path, metrics_path, checkpoint_dir)
+
+        killed_ok = True
+        with self.obs.span("chaos/trial"):
+            for n, day in enumerate(kill_days):
+                cmd = list(base) + ["--kill-after-day", str(day)]
+                if n > 0:
+                    cmd.append("--resume")
+                proc = self._run(cmd)
+                self.obs.count("chaos/kills")
+                if proc.returncode == 0:
+                    # The process finished instead of dying: the kill day
+                    # never fired (a harness bug, not a checkpoint bug).
+                    killed_ok = False
+            final = self._run(list(base) + ["--resume"])
+            self.obs.count("chaos/resumes", len(kill_days))
+        if final.returncode != 0:
+            raise RuntimeError(
+                f"resumed crawl failed (rc={final.returncode}):\n"
+                f"{final.stdout}\n{final.stderr}"
+            )
+
+        trace_identical = _same_bytes(reference_paths["trace"], trace_path)
+        differences = compare_metrics(
+            RunMetrics.read(str(reference_paths["metrics"])),
+            RunMetrics.read(str(metrics_path)),
+        )
+        invariant_problems = self._check_invariants(checkpoint_dir)
+        trial = ChaosTrial(
+            kill_days=kill_days,
+            killed_ok=killed_ok,
+            trace_identical=trace_identical,
+            metrics_equal=not differences,
+            metrics_differences=differences,
+            invariant_problems=invariant_problems,
+        )
+        self.obs.count("chaos/trials")
+        if trial.equivalent:
+            self.obs.count("chaos/equivalent")
+        return trial
+
+    @staticmethod
+    def _check_invariants(checkpoint_dir: Path) -> List[str]:
+        """Post-run structural check on the final checkpoint's network."""
+        from repro.edonkey.crawler import Crawler
+
+        crawler = Crawler.resume_from(Checkpointer(checkpoint_dir))
+        return crawler.network.check_invariants()
+
+    def run(self, trials: int = 1) -> ChaosReport:
+        """A full campaign: one reference, ``trials`` kill/resume cycles."""
+        check_positive("trials", trials)
+        reference_paths = self.reference()
+        report = ChaosReport(spec=self.spec)
+        for index in range(trials):
+            report.trials.append(self.trial(index, reference_paths))
+        self.obs.gauge("chaos/passed", 1.0 if report.passed else 0.0)
+        return report
+
+
+def _same_bytes(a: Path, b: Path) -> bool:
+    try:
+        return a.read_bytes() == b.read_bytes()
+    except OSError:
+        return False

@@ -20,6 +20,8 @@ dispatch through :mod:`repro.runtime`'s experiment registry.
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -465,47 +467,151 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 def cmd_crawl(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from repro.edonkey.crawler import Crawler, CrawlerConfig
+    from repro.checkpoint import CheckpointError, Checkpointer
+    from repro.edonkey.crawler import (
+        CRAWL_CHECKPOINT_KIND,
+        Crawler,
+        CrawlerConfig,
+    )
     from repro.edonkey.network import NetworkConfig, build_network
-    from repro.faults import FaultConfig, RetryPolicy
+    from repro.faults import FaultConfig, FaultSchedule, RetryPolicy
     from repro.trace.io import save_trace
     from repro.trace.stats import general_characteristics
     from repro.util.tables import percent
 
-    workload = dataclasses.replace(
-        workload_config(Scale.SMALL),
-        num_clients=args.clients,
-        num_files=max(args.clients * 15, 500),
-        days=args.days,
-        mainstream_pool_size=min(args.clients, max(args.clients * 15, 500)),
+    checkpointer = (
+        Checkpointer(args.checkpoint_dir) if args.checkpoint_dir else None
     )
-    faults = FaultConfig(
-        loss_rate=args.loss_rate,
-        slow_rate=args.slow_rate,
-        deadline=args.timeout,
-        malformed_rate=args.malformed_rate,
-        peer_downtime=args.peer_downtime,
-        server_crash_day=args.server_crash_day,
-        server_crash_id=args.server_crash_id,
-        server_downtime_days=args.server_downtime,
-    )
-    obs = _observer(args)
-    network = build_network(
-        NetworkConfig(workload=workload, faults=faults), seed=args.seed, obs=obs
-    )
-    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
-    crawler = Crawler(
-        network, CrawlerConfig(days=args.days, retry=retry), seed=args.seed
-    )
-    print(f"Crawling {args.clients} clients for {args.days} days...")
-    trace = crawler.crawl()
+    if checkpointer is None:
+        for flag, value in (
+            ("--resume", args.resume),
+            ("--kill-after-day", args.kill_after_day is not None),
+        ):
+            if value:
+                print(f"error: {flag} requires --checkpoint-dir", file=sys.stderr)
+                return 2
+
+    if args.resume:
+        if args.fault_schedule:
+            # The schedule rides inside the checkpoint; re-specifying it
+            # on resume invites a silent mismatch.
+            print(
+                "error: --fault-schedule cannot be combined with --resume "
+                "(the schedule is restored from the checkpoint)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            crawler = Crawler.resume_from(checkpointer)
+            latest = checkpointer.latest(CRAWL_CHECKPOINT_KIND)
+            info = checkpointer.inspect(latest)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        mismatches = []
+        if info.seed != args.seed:
+            mismatches.append(f"seed: checkpoint={info.seed}, flag={args.seed}")
+        restored_clients = crawler.network.generator.config.num_clients
+        if restored_clients != args.clients:
+            mismatches.append(
+                f"clients: checkpoint={restored_clients}, flag={args.clients}"
+            )
+        if crawler.config.days != args.days:
+            mismatches.append(
+                f"days: checkpoint={crawler.config.days}, flag={args.days}"
+            )
+        if mismatches:
+            print(
+                "error: checkpoint does not match the requested run "
+                f"({'; '.join(mismatches)})",
+                file=sys.stderr,
+            )
+            return 2
+        problems = crawler.network.check_invariants()
+        if problems:
+            print(
+                "error: restored network fails invariant checks:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 3
+        # Resume with the observer that was snapshotted alongside the
+        # simulation, so counters keep accumulating across the crash.
+        obs = crawler.obs
+        wants_obs = args.profile or args.metrics_out or args.trace_out
+        if wants_obs and not obs.enabled:
+            print(
+                "warning: the interrupted run was not observed, so "
+                "--profile/--metrics-out/--trace-out have nothing to "
+                "report; pass them on the initial run",
+                file=sys.stderr,
+            )
+        network = crawler.network
+        print(
+            f"Resuming crawl at day {crawler.next_day_offset}/{args.days} "
+            f"from {info.path.name}..."
+        )
+    else:
+        workload = dataclasses.replace(
+            workload_config(Scale.SMALL),
+            num_clients=args.clients,
+            num_files=max(args.clients * 15, 500),
+            days=args.days,
+            mainstream_pool_size=min(args.clients, max(args.clients * 15, 500)),
+        )
+        faults = FaultConfig(
+            loss_rate=args.loss_rate,
+            slow_rate=args.slow_rate,
+            deadline=args.timeout,
+            malformed_rate=args.malformed_rate,
+            peer_downtime=args.peer_downtime,
+            server_crash_day=args.server_crash_day,
+            server_crash_id=args.server_crash_id,
+            server_downtime_days=args.server_downtime,
+        )
+        schedule = None
+        if args.fault_schedule:
+            try:
+                schedule = FaultSchedule.load(args.fault_schedule)
+            except (OSError, ValueError) as exc:
+                print(
+                    f"error: cannot load fault schedule: {exc}", file=sys.stderr
+                )
+                return 2
+        obs = _observer(args)
+        network = build_network(
+            NetworkConfig(
+                workload=workload, faults=faults, fault_schedule=schedule
+            ),
+            seed=args.seed,
+            obs=obs,
+        )
+        retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+        crawler = Crawler(
+            network, CrawlerConfig(days=args.days, retry=retry), seed=args.seed
+        )
+        print(f"Crawling {args.clients} clients for {args.days} days...")
+
+    on_day_end = None
+    if args.kill_after_day is not None:
+        kill_day = args.kill_after_day
+
+        def on_day_end(day_offset: int) -> None:
+            if day_offset == kill_day:
+                # A real crash: no cleanup, no atexit, no flushing.  The
+                # checkpoint written just before this hook is all that
+                # survives — exactly what resume must cope with.
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    trace = crawler.crawl(checkpointer=checkpointer, on_day_end=on_day_end)
     chars = general_characteristics(trace)
     print(
         f"Collected {chars.num_snapshots} snapshots of {chars.num_clients} "
         f"clients ({percent(chars.free_rider_fraction)} free-riders), "
         f"{chars.num_distinct_files} files."
     )
-    if network.faults.enabled:
+    if network.faults.active:
         print(crawler.degradation_report(trace).render())
     if args.output:
         save_trace(trace, args.output)
@@ -669,6 +775,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crawler retries per failed request (0 disables)")
     p.add_argument("--timeout", type=float, default=5.0,
                    help="reply deadline in seconds (slow replies miss it)")
+    p.add_argument("--fault-schedule", metavar="PATH",
+                   help="JSON fault schedule (repro.faults.schedule/1) "
+                   "applying per-day FaultConfig overrides")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="write an end-of-day checkpoint here after every "
+                   "simulated day")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest intact checkpoint in "
+                   "--checkpoint-dir instead of starting fresh")
+    p.add_argument("--kill-after-day", type=int, default=None, metavar="DAY",
+                   help="SIGKILL this process right after DAY's checkpoint "
+                   "is written (chaos testing; requires --checkpoint-dir)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_crawl)
 

@@ -21,10 +21,11 @@ the most popular files) operate on the input trace before simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.checkpoint import Checkpointer
     from repro.runtime.context import RunContext
 
 from repro.core.metrics import HitRateAccumulator, LoadTracker
@@ -216,6 +217,34 @@ class QueryRecord:
         return args
 
 
+@dataclass
+class _RunState:
+    """The mutable mid-run state a checkpoint must capture.
+
+    Everything the request loop reads or writes between events lives
+    here (or on the simulator itself, which owns the per-peer state);
+    the request stream is one of the picklable stream objects from
+    :mod:`repro.core.requests`, so pickling this dataclass mid-sequence
+    freezes the run exactly between two events.
+    """
+
+    rates: HitRateAccumulator
+    load: LoadTracker
+    requests: Iterator
+    avail_rng: RngStream
+    loss_rng: RngStream
+    unresolvable: int = 0
+    rare_rates: Optional[HitRateAccumulator] = None
+    rare_files: Set = field(default_factory=set)
+    exchanges: Optional[Dict[Tuple[ClientId, ClientId], int]] = None
+    #: events consumed from the request stream so far (checkpoint cadence)
+    processed: int = 0
+
+
+#: Checkpoint kind tag for search-simulator snapshots.
+SEARCH_CHECKPOINT_KIND = "search"
+
+
 class SearchSimulator:
     """Runs the Section 5 methodology over a static trace.
 
@@ -226,6 +255,13 @@ class SearchSimulator:
     ``use_compiled=False`` selects the original string-keyed engine, kept
     as the reference implementation; seeded results are byte-identical
     either way (the equivalence suite pins this).
+
+    ``run(checkpointer=...)`` snapshots the whole simulator every
+    ``checkpoint_every`` events; :meth:`resume_from` rebuilds it from the
+    latest snapshot and the next ``run()`` continues mid-sequence with
+    byte-identical final results (the resume-equivalence suite pins
+    this).  Checkpointing requires the compiled engine — the legacy
+    engine's request generator cannot be pickled.
     """
 
     def __init__(
@@ -266,6 +302,9 @@ class SearchSimulator:
         # Second-hop peers probed by the most recent _query_two_hop call
         # (0 on the sharer-side fast path) — lifecycle bookkeeping only.
         self._last_two_hop_contacts = 0
+        # Mid-run state; populated lazily by run() and carried across a
+        # checkpoint/resume cycle.
+        self._run_state: Optional[_RunState] = None
 
     def _check_lists_against_trace(self) -> None:
         """Reject warm-start lists referencing peers absent from the trace.
@@ -290,6 +329,10 @@ class SearchSimulator:
     # ------------------------------------------------------------------
     # State helpers
 
+    def _population(self) -> List[ClientId]:
+        """Current peers sharing at least one file (for Random lists)."""
+        return self._sharer_peers
+
     def _strategy_for(self, peer: ClientId) -> NeighbourStrategy:
         strategy = self._strategies.get(peer)
         if strategy is None:
@@ -305,7 +348,9 @@ class SearchSimulator:
                     self.config.strategy,
                     self.config.list_size,
                     rng=self.rng.child(f"random[{peer}]"),
-                    population=lambda: self._sharer_peers,
+                    # A bound method (not a lambda) so strategies — and
+                    # with them the whole simulator — stay picklable.
+                    population=self._population,
                     owner=peer,
                 )
                 # Warm start: feed the initial list as synthetic uploads,
@@ -477,45 +522,10 @@ class SearchSimulator:
     # ------------------------------------------------------------------
     # Main loop
 
-    def run(self) -> SimulationResult:
+    def _fresh_state(self) -> _RunState:
+        """Build the event-zero run state (streams, accumulators, RNGs)."""
         config = self.config
-        obs = self.obs
-        # Local flag + clock keep the disabled path to one branch per
-        # request section; timing uses explicit clock reads because a
-        # context manager per request would dominate the hot loop.
-        profiled = obs.enabled
-        clock = obs.clock
-        rates = HitRateAccumulator()
-        load = LoadTracker()
-        load_sink = load if config.track_load else None
         request_rng = self.rng.child("requests")
-        avail_rng = self.rng.child("availability")
-        loss_rng = self.rng.child("probe-loss")
-        model_churn = config.availability < 1.0
-        lost = None
-        if config.probe_loss_rate > 0:
-            def lost(_rng=loss_rng, _rate=config.probe_loss_rate):  # noqa: E731
-                return _rng.py.random() < _rate
-        unresolvable = 0
-        rare_rates: Optional[HitRateAccumulator] = None
-        rare_files: Set = set()
-        if config.rare_cutoff is not None:
-            rare_rates = HitRateAccumulator()
-            if self._compiled is not None:
-                rare_files = {
-                    idx
-                    for idx, c in enumerate(self._compiled.static_counts)
-                    if c <= config.rare_cutoff
-                }
-            else:
-                counts = self.trace.replica_counts()
-                rare_files = {
-                    f for f, c in counts.items() if c <= config.rare_cutoff
-                }
-        exchanges: Optional[Dict[Tuple[ClientId, ClientId], int]] = (
-            {} if config.track_exchanges else None
-        )
-
         if self._compiled is not None:
             requests = iter_requests_compiled(
                 self._compiled,
@@ -532,8 +542,129 @@ class SearchSimulator:
                     use_compiled=False,
                 )
             )
+        rare_rates: Optional[HitRateAccumulator] = None
+        rare_files: Set = set()
+        if config.rare_cutoff is not None:
+            rare_rates = HitRateAccumulator()
+            if self._compiled is not None:
+                rare_files = {
+                    idx
+                    for idx, c in enumerate(self._compiled.static_counts)
+                    if c <= config.rare_cutoff
+                }
+            else:
+                counts = self.trace.replica_counts()
+                rare_files = {
+                    f for f, c in counts.items() if c <= config.rare_cutoff
+                }
+        return _RunState(
+            rates=HitRateAccumulator(),
+            load=LoadTracker(),
+            requests=requests,
+            avail_rng=self.rng.child("availability"),
+            loss_rng=self.rng.child("probe-loss"),
+            rare_rates=rare_rates,
+            rare_files=rare_files,
+            exchanges={} if config.track_exchanges else None,
+        )
+
+    def save_checkpoint(self, checkpointer: "Checkpointer") -> None:
+        """Snapshot the whole simulator (run state included).
+
+        The observer's live span stack is excluded from the snapshot (a
+        resumed process opens its own spans), and the save counter is
+        bumped *before* pickling so the snapshot carries the save it
+        belongs to — a resumed run continues the counter exactly where
+        an uninterrupted checkpointing run would be.
+        """
+        if self._run_state is None:
+            raise ValueError("nothing to checkpoint: run() has not started")
+        self.obs.count("checkpoint/saves")
+        stack = self.obs._stack
+        self.obs._stack = []
+        try:
+            checkpointer.save(
+                SEARCH_CHECKPOINT_KIND,
+                self._run_state.processed,
+                {"simulator": self},
+                seed=self.config.seed,
+                meta={
+                    "processed": self._run_state.processed,
+                    "strategy": self.config.strategy,
+                },
+            )
+        finally:
+            self.obs._stack = stack
+
+    @classmethod
+    def resume_from(cls, checkpointer: "Checkpointer") -> "SearchSimulator":
+        """Rebuild a mid-run simulator from the latest checkpoint."""
+        payload, _info = checkpointer.load_latest(SEARCH_CHECKPOINT_KIND)
+        simulator = payload["simulator"]
+        if not isinstance(simulator, cls):
+            raise TypeError(
+                f"checkpoint payload holds {type(simulator).__name__}, "
+                f"expected {cls.__name__}"
+            )
+        return simulator
+
+    def run(
+        self,
+        checkpointer: Optional["Checkpointer"] = None,
+        checkpoint_every: int = 10_000,
+    ) -> SimulationResult:
+        config = self.config
+        obs = self.obs
+        if checkpointer is not None:
+            if not self.use_compiled:
+                raise ValueError(
+                    "checkpointing requires the compiled engine "
+                    "(use_compiled=True): the legacy request generator "
+                    "cannot be pickled"
+                )
+            check_positive("checkpoint_every", checkpoint_every)
+        # Local flag + clock keep the disabled path to one branch per
+        # request section; timing uses explicit clock reads because a
+        # context manager per request would dominate the hot loop.
+        profiled = obs.enabled
+        clock = obs.clock
+        state = self._run_state
+        if state is None:
+            state = self._run_state = self._fresh_state()
+        rates = state.rates
+        load = state.load
+        load_sink = load if config.track_load else None
+        avail_rng = state.avail_rng
+        loss_rng = state.loss_rng
+        model_churn = config.availability < 1.0
+        lost = None
+        if config.probe_loss_rate > 0:
+            def lost(_rng=loss_rng, _rate=config.probe_loss_rate):  # noqa: E731
+                return _rng.py.random() < _rate
+        unresolvable = state.unresolvable
+        rare_rates = state.rare_rates
+        rare_files = state.rare_files
+        exchanges = state.exchanges
+        requests = state.requests
+        processed = state.processed
+        # Checkpoints happen *between* events: at the top of the loop the
+        # stream holds no half-processed event, so the snapshot is a clean
+        # cut and resuming replays nothing twice.
+        next_checkpoint = (
+            processed + checkpoint_every if checkpointer is not None else None
+        )
         run_start = clock() if profiled else 0.0
-        for peer, file_key in requests:
+        while True:
+            if next_checkpoint is not None and processed >= next_checkpoint:
+                state.unresolvable = unresolvable
+                state.processed = processed
+                self.save_checkpoint(checkpointer)
+                next_checkpoint = processed + checkpoint_every
+            try:
+                peer, file_key = next(requests)
+            except StopIteration:
+                break
+            processed += 1
             sharers = self._sharers(file_key)
             if not sharers:
                 # Original contributor: the file enters the system here.
@@ -646,6 +777,8 @@ class SearchSimulator:
                 exchanges[edge] = exchanges.get(edge, 0) + 1
             self._add_to_cache(peer, file_key)
 
+        state.unresolvable = unresolvable
+        state.processed = processed
         if profiled:
             obs.record_span(
                 "search/request_loop", clock() - run_start, start_s=run_start

@@ -23,9 +23,10 @@ from __future__ import annotations
 import itertools
 import string
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.checkpoint import Checkpointer
     from repro.runtime.context import RunContext
 
 from repro.edonkey.messages import BrowseRequest, QueryUsers, ServerListRequest
@@ -35,6 +36,9 @@ from repro.obs import Observer
 from repro.trace.model import ClientMeta, FileMeta, Trace
 from repro.util.rng import RngStream
 from repro.util.validation import check_positive
+
+#: Checkpoint kind tag for crawler snapshots.
+CRAWL_CHECKPOINT_KIND = "crawl"
 
 
 @dataclass
@@ -151,13 +155,21 @@ class Crawler:
         self._profiles_by_id = {
             p.meta.client_id: p for p in network.generator.profiles
         }
+        # Resume state: the trace under construction and the next day to
+        # crawl.  Both travel inside a checkpoint, so a restored crawler
+        # picks up exactly where the snapshot was taken.
+        self._trace: Optional[Trace] = None
+        self._next_day_offset = 0
 
     # ------------------------------------------------------------------
     # Discovery
 
     def refresh_server_list(self) -> None:
         """Ask every known server for its server list (gossip walk)."""
-        frontier = list(self.known_servers)
+        # Sorted: ``known_servers`` is a set, and set iteration order can
+        # change across a pickle round-trip; the walk order decides which
+        # server is asked first, which matters under message faults.
+        frontier = sorted(self.known_servers)
         while frontier:
             server_id = frontier.pop()
             reply = self.network.to_server(server_id, ServerListRequest())
@@ -300,22 +312,88 @@ class Crawler:
         )
 
     # ------------------------------------------------------------------
+    # Checkpointing
+
+    def save_checkpoint(self, checkpointer: "Checkpointer") -> None:
+        """Snapshot the whole crawler (network, trace and RNGs included).
+
+        The observer's live span stack is excluded: the snapshot is taken
+        between days, and the resumed process opens its own spans — a
+        restored half-open stack would corrupt its span paths.
+        """
+        # Counted *before* pickling so the snapshot itself carries the
+        # save it belongs to; a resumed run then continues the counter
+        # exactly where an uninterrupted checkpointing run would be.
+        self.obs.count("checkpoint/saves")
+        stack = self.obs._stack
+        self.obs._stack = []
+        try:
+            checkpointer.save(
+                CRAWL_CHECKPOINT_KIND,
+                self._next_day_offset,
+                {"crawler": self},
+                seed=self.rng.seed,
+                meta={
+                    "day": self._next_day_offset,
+                    "network_day": self.network.day,
+                    "snapshots": (
+                        self._trace.num_snapshots if self._trace else 0
+                    ),
+                },
+            )
+        finally:
+            self.obs._stack = stack
+
+    @classmethod
+    def resume_from(cls, checkpointer: "Checkpointer") -> "Crawler":
+        """Rebuild a mid-crawl crawler from the latest checkpoint."""
+        payload, _info = checkpointer.load_latest(CRAWL_CHECKPOINT_KIND)
+        crawler = payload["crawler"]
+        if not isinstance(crawler, cls):
+            raise TypeError(
+                f"checkpoint payload holds {type(crawler).__name__}, "
+                f"expected {cls.__name__}"
+            )
+        return crawler
+
+    @property
+    def next_day_offset(self) -> int:
+        """The next day the crawl loop will execute (0 on a fresh crawler)."""
+        return self._next_day_offset
+
+    # ------------------------------------------------------------------
     # Full crawl
 
-    def crawl(self, days: Optional[int] = None) -> Trace:
+    def crawl(
+        self,
+        days: Optional[int] = None,
+        checkpointer: Optional["Checkpointer"] = None,
+        on_day_end: Optional[Callable[[int], None]] = None,
+    ) -> Trace:
         """Run a multi-day crawl and return the collected trace.
 
         With observability enabled the per-day phases are timed under the
         ``crawl/day/...`` span hierarchy and the final
         :class:`CrawlStats` are exported as ``crawler/*`` counters.
+
+        With a ``checkpointer`` the crawler snapshots itself after every
+        completed day; a crawler rebuilt via :meth:`resume_from`
+        continues from the checkpointed day and produces byte-identical
+        final artefacts.  ``on_day_end(day_offset)`` (if given) runs
+        after each day's checkpoint — the chaos harness uses it to kill
+        the process at a precise point.
         """
         days = days if days is not None else self.config.days
-        trace = Trace()
+        if self._trace is None:
+            self._trace = Trace()
+        trace = self._trace
+        start = self._next_day_offset
         obs = self.obs
         with obs.span("crawl"):
-            with obs.span("refresh_servers"):
-                self.refresh_server_list()
-            for day_offset in range(days):
+            if start == 0:
+                with obs.span("refresh_servers"):
+                    self.refresh_server_list()
+            for day_offset in range(start, days):
                 obs.instant(
                     "day_start",
                     args={"day": day_offset, "network_day": self.network.day},
@@ -329,6 +407,11 @@ class Crawler:
                     with obs.span("browse"):
                         self.browse_all(trace, self.network.day, budget)
                     self.network.advance_day()
+                self._next_day_offset = day_offset + 1
+                if checkpointer is not None:
+                    self.save_checkpoint(checkpointer)
+                if on_day_end is not None:
+                    on_day_end(day_offset)
         if obs.enabled:
             obs.merge_counters(self.stats.as_dict(), prefix="crawler/")
             obs.gauge(

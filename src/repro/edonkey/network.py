@@ -24,6 +24,7 @@ from repro.faults import (
     FATE_TIMEOUT,
     FaultConfig,
     FaultInjector,
+    FaultSchedule,
 )
 from repro.edonkey.messages import (
     BlockRequest,
@@ -74,6 +75,11 @@ class NetworkConfig:
     # replies, transient peer downtime, server crashes).  All knobs off by
     # default, in which case the injector is never consulted.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    # Optional time-varying overrides on top of ``faults``: day windows
+    # that ramp loss, burst churn, or crash servers repeatedly (see
+    # :mod:`repro.faults.schedule`).  A schedule whose windows carry no
+    # overrides is byte-identical to no schedule at all.
+    fault_schedule: Optional[FaultSchedule] = None
     # Dead-neighbour detection for semantic clients: evict a semantic
     # neighbour after this many consecutive unanswered probes (None = off).
     semantic_dead_after: Optional[int] = None
@@ -112,7 +118,9 @@ class Network:
         self._session_rng = generator.rng.child("network-sessions")
         self.offline: Set[int] = set()
         self.faults = FaultInjector(
-            config.faults, generator.rng.child("network-faults")
+            config.faults,
+            generator.rng.child("network-faults"),
+            schedule=config.fault_schedule,
         )
         self.down_servers: Set[int] = set()
         self._day_index = 0  # days elapsed since the build day
@@ -247,7 +255,10 @@ class Network:
         with self.obs.span("network/advance_day"):
             self.day += 1
             self._day_index += 1
-            if self.faults.enabled:
+            # ``active`` (not ``enabled``): a scheduled injector may be
+            # quiet today but still needs advance_day to apply the
+            # window overrides for the new day.
+            if self.faults.active:
                 self._apply_fault_schedule()
             profiles = {p.meta.client_id: p for p in self.generator.profiles}
             if self.config.session_churn:
@@ -357,8 +368,14 @@ class Network:
                         server.handle_disconnect(client_id)
 
     def _sync_client_cache(self, client: Client, indices: Set[int]) -> None:
+        # Sorted iteration: ``indices`` is a set, and set iteration order
+        # can legally change across a pickle round-trip (the rebuilt hash
+        # table is compacted).  The client's insertion-ordered cache dict
+        # feeds BrowseReply payloads and ultimately the trace's file
+        # order, so resume-equivalence needs a canonical order here.
         descriptions = {
-            meta.file_id: meta for meta in map(self.generator.file_meta, indices)
+            meta.file_id: meta
+            for meta in map(self.generator.file_meta, sorted(indices))
         }
         # Drop files no longer shared, add new ones as complete.
         for file_id in list(client.cache):
@@ -368,9 +385,67 @@ class Network:
             if file_id not in client.cache:
                 client.share(_to_description(meta))
 
+    def check_invariants(self) -> List[str]:
+        """Cross-layer consistency checks; returns problems (empty = ok).
+
+        Run by the chaos harness after a resume: a checkpoint that
+        restored half the object graph (a session without its client, a
+        cache set disagreeing with the client's shared dict) surfaces
+        here instead of as a silently divergent trace.  Only the
+        *forward* session direction is checked — an online client can
+        legitimately hold a stale ``server_id`` with no live session
+        when message loss ate its reconnect attempt.
+        """
+        problems: List[str] = []
+        for server_id, server in self.servers.items():
+            if server_id in self.down_servers:
+                if server.num_users:
+                    problems.append(
+                        f"down server {server_id} still has "
+                        f"{server.num_users} sessions"
+                    )
+                continue
+            problems.extend(server.check_invariants())
+            for client_id in list(server._sessions):
+                client = self.clients.get(client_id)
+                if client is None:
+                    problems.append(
+                        f"server {server_id} has a session for unknown "
+                        f"client {client_id}"
+                    )
+                    continue
+                if client.server_id != server_id:
+                    problems.append(
+                        f"client {client_id} has a session on server "
+                        f"{server_id} but points at {client.server_id}"
+                    )
+                if client_id in self.offline:
+                    problems.append(
+                        f"offline client {client_id} still has a session "
+                        f"on server {server_id}"
+                    )
+        for client_id, indices in self._caches.items():
+            client = self.clients.get(client_id)
+            if client is None:
+                problems.append(f"cache entry for unknown client {client_id}")
+                continue
+            expected = {
+                self.generator.file_meta(idx).file_id for idx in indices
+            }
+            actual = set(client.cache)
+            if expected != actual:
+                missing = sorted(expected - actual)[:3]
+                extra = sorted(actual - expected)[:3]
+                problems.append(
+                    f"client {client_id} cache disagrees with the "
+                    f"network's index set (missing={missing}, "
+                    f"extra={extra})"
+                )
+        return problems
+
     def seed_initial_caches(self) -> None:
         """Fill every sharer's cache as of the current day and publish."""
-        if self.faults.enabled:
+        if self.faults.active:
             # Day 0 of the fault schedule (a crash on the build day is a
             # legal scenario; transient downtime applies from day 0 too).
             self._apply_fault_schedule()

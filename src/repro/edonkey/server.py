@@ -236,6 +236,72 @@ class Server:
     def learn_servers(self, server_ids) -> None:
         self.known_servers.update(server_ids)
 
+    # ------------------------------------------------------------------
+    # Self-checks
+
+    def check_invariants(self) -> List[str]:
+        """Cross-check the internal indexes; returns problems (empty = ok).
+
+        The chaos harness runs this after every resumed day: a checkpoint
+        that restored sessions without their index entries (or vice
+        versa) shows up here rather than as a silently wrong trace.
+        """
+        problems: List[str] = []
+        tag = f"server {self.server_id}"
+        for client_id, session in self._sessions.items():
+            for file_id in session.files:
+                sources = self._sources.get(file_id, set())
+                if client_id not in sources:
+                    problems.append(
+                        f"{tag}: session {client_id} publishes {file_id!r} "
+                        "but is missing from its source set"
+                    )
+        for file_id, sources in self._sources.items():
+            if not sources:
+                problems.append(f"{tag}: empty source set for {file_id!r}")
+            if file_id not in self._descriptions:
+                problems.append(
+                    f"{tag}: sourced file {file_id!r} has no description"
+                )
+            for client_id in sources:
+                session = self._sessions.get(client_id)
+                if session is None:
+                    problems.append(
+                        f"{tag}: source {client_id} of {file_id!r} has no "
+                        "session"
+                    )
+                elif file_id not in session.files:
+                    problems.append(
+                        f"{tag}: source {client_id} of {file_id!r} does not "
+                        "publish it"
+                    )
+        for file_id in self._descriptions:
+            if file_id not in self._sources:
+                problems.append(
+                    f"{tag}: described file {file_id!r} has no sources"
+                )
+        for token, bucket in self._keywords.items():
+            for file_id in bucket:
+                if file_id not in self._descriptions:
+                    problems.append(
+                        f"{tag}: keyword {token!r} indexes unknown file "
+                        f"{file_id!r}"
+                    )
+        for trigram, bucket in self._nick_trigrams.items():
+            for client_id in bucket:
+                session = self._sessions.get(client_id)
+                if session is None:
+                    problems.append(
+                        f"{tag}: nickname trigram {trigram!r} references "
+                        f"disconnected client {client_id}"
+                    )
+                elif trigram not in _trigrams(session.nickname):
+                    problems.append(
+                        f"{tag}: trigram {trigram!r} does not occur in "
+                        f"nickname of client {client_id}"
+                    )
+        return problems
+
 
 def _trigrams(nickname: str) -> Set[str]:
     lowered = nickname.lower()

@@ -25,6 +25,7 @@ from repro.faults.injector import (
     FaultInjector,
 )
 from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule, FaultWindow, ramping_loss
 from repro.faults.stats import FaultStats
 
 __all__ = [
@@ -34,6 +35,9 @@ __all__ = [
     "FATE_TIMEOUT",
     "FaultConfig",
     "FaultInjector",
+    "FaultSchedule",
     "FaultStats",
+    "FaultWindow",
     "RetryPolicy",
+    "ramping_loss",
 ]

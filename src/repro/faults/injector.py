@@ -12,9 +12,10 @@ if they routed different message counts in between.
 from __future__ import annotations
 
 import copy
-from typing import Iterable, List, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.faults.config import FaultConfig
+from repro.faults.schedule import FaultSchedule
 from repro.faults.stats import FaultStats
 from repro.util.rng import RngStream
 
@@ -29,9 +30,27 @@ _PAYLOAD_ATTRS = ("files", "results", "sources", "users", "servers")
 
 
 class FaultInjector:
-    """Decides message fates and the daily fault schedule."""
+    """Decides message fates and the daily fault schedule.
 
-    def __init__(self, config: FaultConfig, rng: RngStream) -> None:
+    With a :class:`~repro.faults.schedule.FaultSchedule`, the injector's
+    effective config (``self.config``) is recomputed at each
+    ``advance_day`` as the base config plus the overrides of every
+    window covering that day; message paths keep consulting
+    ``self.config``, so a day outside every window costs exactly what a
+    schedule-free run costs (the per-knob short-circuits see zeros and
+    draw nothing).
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        rng: RngStream,
+        schedule: Optional[FaultSchedule] = None,
+    ) -> None:
+        self.base_config = config
+        self.schedule = schedule
+        # Effective config for the current day; day 0's value is set by
+        # the first advance_day call (build time uses the base config).
         self.config = config
         self.stats = FaultStats()
         self._loss_rng = rng.child("loss")
@@ -42,7 +61,22 @@ class FaultInjector:
 
     @property
     def enabled(self) -> bool:
+        """Any knob nonzero *today* (the current effective config)."""
         return self.config.enabled
+
+    @property
+    def active(self) -> bool:
+        """Can this injector ever do anything over the whole run?
+
+        True when the base config enables a fault or the schedule
+        carries at least one override.  The network consults this (not
+        ``enabled``) to decide whether to run the per-day fault plumbing
+        at all: an injector that is inactive is a strict no-op, while an
+        *active* one may still be quiet on individual days.
+        """
+        return self.base_config.enabled or (
+            self.schedule is not None and not self.schedule.empty
+        )
 
     # ------------------------------------------------------------------
     # Per-message decisions
@@ -93,11 +127,14 @@ class FaultInjector:
     # Day schedule
 
     def advance_day(self, day_index: int, client_ids: Iterable[int]) -> None:
-        """Redraw the day's transiently-unreachable peer set.
+        """Enter ``day_index``: apply the schedule, redraw the day's
+        transiently-unreachable peer set.
 
-        The draw comes from a per-day child stream keyed by
+        The downtime draw comes from a per-day child stream keyed by
         ``day_index`` over the *sorted* client ids, so it is independent
         of message traffic and iteration order."""
+        if self.schedule is not None:
+            self.config = self.schedule.config_on(day_index, self.base_config)
         if not self.config.peer_downtime:
             self.flaky_offline = set()
             return
@@ -109,7 +146,14 @@ class FaultInjector:
         }
 
     def server_events(self, day_index: int) -> Tuple[List[int], List[int]]:
-        """``(crashes, recoveries)`` scheduled for ``day_index``."""
+        """``(crashes, recoveries)`` scheduled for ``day_index``.
+
+        Checked against the *effective* config, so repeated
+        crash/recovery cycles are expressed as schedule windows that set
+        ``server_crash_day``/``server_downtime_days`` — each window must
+        cover both its crash day and its recovery day for the pair of
+        events to fire.
+        """
         config = self.config
         crashes: List[int] = []
         recoveries: List[int] = []

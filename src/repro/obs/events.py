@@ -136,8 +136,9 @@ class TraceRecorder:
         return json.dumps(self.to_chrome(), allow_nan=False)
 
     def write_chrome(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_chrome_json() + "\n")
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_chrome_json() + "\n")
 
 
 def validate_chrome_trace(payload: object) -> List[str]:

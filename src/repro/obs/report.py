@@ -117,8 +117,9 @@ class RunMetrics:
         return cls.from_dict(json.loads(text))
 
     def write(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json() + "\n")
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def read(cls, path: str) -> "RunMetrics":

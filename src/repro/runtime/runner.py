@@ -20,7 +20,10 @@ Schema (``repro.manifest/1``) — a single JSON object:
 - ``metrics_file`` — optional: the standalone metrics JSON written next
   to this manifest (``Runner(write_metrics=True)``, the CLI's
   ``repro run-all --metrics-out``), for feeding ``repro metrics diff``
-  without extracting the embedded blob.
+  without extracting the embedded blob;
+- ``lineage`` — optional: checkpoint provenance for experiments that
+  save/resume state mid-run (the chaos harness records kill days and
+  resume counts here).
 
 ``Runner.run`` skips an experiment when its manifest already exists with a
 matching ``config_hash`` (``force`` re-runs anyway), which is what makes
@@ -64,6 +67,10 @@ class RunManifest:
     metrics: Dict[str, float] = field(default_factory=dict)
     run_metrics: Dict[str, object] = field(default_factory=dict)
     metrics_file: Optional[str] = None
+    #: Optional provenance of checkpoint-based runs: which checkpoints the
+    #: experiment saved/resumed from (kill days, resume counts, ...).  Free
+    #: JSON-object shape; absent for experiments that never checkpoint.
+    lineage: Optional[Dict[str, object]] = None
     schema: str = MANIFEST_SCHEMA
 
     def to_dict(self) -> Dict[str, object]:
@@ -80,6 +87,8 @@ class RunManifest:
         }
         if self.metrics_file is not None:
             payload["metrics_file"] = self.metrics_file
+        if self.lineage is not None:
+            payload["lineage"] = dict(self.lineage)
         return payload
 
     def to_json(self) -> str:
@@ -102,11 +111,14 @@ class RunManifest:
             metrics={k: float(v) for k, v in payload["metrics"].items()},
             run_metrics=dict(payload["run_metrics"]),
             metrics_file=payload.get("metrics_file"),
+            lineage=payload.get("lineage"),
             schema=payload["schema"],
         )
 
     def write(self, path) -> None:
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def read(cls, path) -> "RunManifest":
@@ -143,6 +155,9 @@ def validate_manifest(payload: object) -> List[str]:
     metrics_file = payload.get("metrics_file")
     if metrics_file is not None and not isinstance(metrics_file, str):
         problems.append("'metrics_file' must be a string when present")
+    lineage = payload.get("lineage")
+    if lineage is not None and not isinstance(lineage, dict):
+        problems.append("'lineage' must be an object when present")
     if not isinstance(payload.get("metrics"), dict):
         problems.append("missing or non-object section 'metrics'")
     else:
@@ -262,6 +277,7 @@ class Runner:
             metrics=dict(getattr(result, "metrics", {}) or {}),
             run_metrics=report.to_dict(),
             metrics_file=metrics_file,
+            lineage=getattr(result, "lineage", None),
         )
         manifest.write(path)
         if hasattr(result, "write_csv"):

@@ -21,17 +21,11 @@ import os
 from typing import Dict, IO, Iterator, Union
 
 from repro.trace.model import ClientMeta, FileMeta, Snapshot, Trace
+from repro.util.atomic import atomic_replace
 
 FORMAT_VERSION = 1
 
 PathLike = Union[str, "os.PathLike[str]"]
-
-
-def _open_write(path: PathLike) -> IO[str]:
-    raw = gzip.open(path, "wt", encoding="utf-8") if str(path).endswith(".gz") else open(
-        path, "w", encoding="utf-8"
-    )
-    return raw
 
 
 def _open_read(path: PathLike) -> IO[str]:
@@ -42,9 +36,26 @@ def _open_read(path: PathLike) -> IO[str]:
 
 
 def save_trace(trace: Trace, path: PathLike) -> None:
-    """Write ``trace`` to ``path`` (gzip-compressed if it ends in ``.gz``)."""
-    with _open_write(path) as fh:
-        _write_records(trace, fh)
+    """Write ``trace`` to ``path`` (gzip-compressed if it ends in ``.gz``).
+
+    The write is atomic (temp file + rename): a crash mid-save leaves
+    either the previous file or no file, never a truncated trace.
+    """
+    compress = str(path).endswith(".gz")
+    with atomic_replace(path) as tmp:
+        if compress:
+            # mtime=0 and no embedded filename keep the gzip container
+            # deterministic: two runs writing the same records produce
+            # byte-identical files (the resume-equivalence contract).
+            with open(tmp, "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", mode="wb", fileobj=raw, mtime=0
+                ) as gz:
+                    with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+                        _write_records(trace, fh)
+        else:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                _write_records(trace, fh)
 
 
 def dumps_trace(trace: Trace) -> str:

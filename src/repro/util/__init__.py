@@ -5,6 +5,11 @@ These helpers are intentionally dependency-light (numpy only) so that every
 other subpackage can use them without import cycles.
 """
 
+from repro.util.atomic import (
+    atomic_replace,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 from repro.util.cdf import (
     Histogram,
     Series,
@@ -23,6 +28,9 @@ __all__ = [
     "RngStream",
     "Series",
     "ZipfSampler",
+    "atomic_replace",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "check_fraction",
     "check_positive",
     "derive_seed",

@@ -1,0 +1,83 @@
+"""Crash-safe file writes: write a temp file, fsync, rename over the target.
+
+Every artefact this library persists (run manifests, metrics JSON, traces,
+checkpoints) goes through these helpers so that a crash — including a hard
+SIGKILL — mid-write can never leave a torn file behind: the target either
+keeps its previous content or holds the complete new content, never a
+prefix of it.  ``os.replace`` is atomic on POSIX and Windows for paths on
+the same filesystem, which is guaranteed here because the temp file is
+created in the target's own directory.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@contextmanager
+def atomic_replace(path: PathLike) -> Iterator[str]:
+    """Yield a temp path next to ``path``; atomically rename it over
+    ``path`` on success, delete it on failure.
+
+    The caller writes the new content to the yielded path.  If the block
+    raises, the temp file is removed and ``path`` is untouched; if it
+    completes, the temp file is fsynced and renamed into place (and the
+    directory entry is fsynced too, best-effort), so the swap survives a
+    crash at any instant.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    os.close(fd)
+    try:
+        yield tmp
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, target)
+        _fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the rename itself to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path``'s content with ``text``."""
+    with atomic_replace(path) as tmp:
+        with open(tmp, "w", encoding=encoding) as fh:
+            fh.write(text)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace ``path``'s content with ``data``."""
+    with atomic_replace(path) as tmp:
+        with open(tmp, "wb") as fh:
+            fh.write(data)

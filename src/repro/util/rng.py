@@ -9,15 +9,19 @@ from a root seed plus a string label via a stable hash.  This mirrors the
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import random
-from typing import Iterator, Optional, Sequence, TypeVar
+from typing import Iterator, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 T = TypeVar("T")
 
 _SEED_MASK = (1 << 63) - 1
+
+#: Version tag on :meth:`RngStream.getstate` snapshots.
+_STATE_TAG = "repro.rngstream/1"
 
 
 def derive_seed(root_seed: int, label: str) -> int:
@@ -64,6 +68,53 @@ class RngStream:
     def child(self, sub_label: str) -> "RngStream":
         """Spawn an independent substream named ``label/sub_label``."""
         return RngStream(self.seed, f"{self.label}/{sub_label}")
+
+    # ------------------------------------------------------------------
+    # State capture (checkpoint/resume)
+
+    def getstate(self) -> Tuple:
+        """Snapshot this stream's full state.
+
+        The snapshot captures both underlying generators mid-sequence —
+        ``random.Random.getstate()`` and the numpy bit generator's state
+        dict — so a stream restored with :meth:`setstate` continues the
+        exact draw sequence, not a reseeded one.  The returned value is
+        versioned, picklable and deep-copied (later draws on this stream
+        cannot mutate an already-taken snapshot).
+        """
+        return (
+            _STATE_TAG,
+            self.seed,
+            self.label,
+            self.py.getstate(),
+            copy.deepcopy(self.np.bit_generator.state),
+        )
+
+    def setstate(self, state: Tuple) -> None:
+        """Restore a snapshot taken by :meth:`getstate` (any instance)."""
+        if not isinstance(state, tuple) or len(state) != 5 or state[0] != _STATE_TAG:
+            raise ValueError(
+                f"not an RngStream state snapshot (expected a 5-tuple "
+                f"tagged {_STATE_TAG!r})"
+            )
+        _, seed, label, py_state, np_state = state
+        self.seed = seed
+        self.label = label
+        py = random.Random()
+        py.setstate(py_state)
+        self.py = py
+        gen = np.random.default_rng()
+        gen.bit_generator.state = copy.deepcopy(np_state)
+        self.np = gen
+
+    # ``__slots__`` classes need explicit pickle hooks; routing them
+    # through getstate/setstate makes pickling a stream equivalent to
+    # snapshotting it, which is what checkpoint files rely on.
+    def __getstate__(self) -> Tuple:
+        return self.getstate()
+
+    def __setstate__(self, state: Tuple) -> None:
+        self.setstate(state)
 
     def shuffled(self, items: Sequence[T]) -> list:
         """Return a shuffled copy of ``items`` (the input is untouched)."""

@@ -1,0 +1,1 @@
+"""Checkpoint/resume and chaos-harness tests."""

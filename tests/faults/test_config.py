@@ -47,3 +47,18 @@ class TestEnabled:
     def test_deadline_alone_does_not_enable(self):
         # A deadline only matters when something is slow.
         assert not FaultConfig(deadline=1.0).enabled
+
+
+class TestServerKnobValidation:
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ValueError, match="server_downtime_days"):
+            FaultConfig(server_downtime_days=-1)
+
+    def test_zero_downtime_is_valid(self):
+        # 0 means "the crashed server never comes back", not "instant
+        # recovery" — a legal, documented configuration.
+        FaultConfig(server_crash_day=2, server_downtime_days=0)
+
+    def test_negative_crash_id_rejected(self):
+        with pytest.raises(ValueError, match="server_crash_id"):
+            FaultConfig(server_crash_id=-1)

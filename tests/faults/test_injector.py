@@ -140,3 +140,66 @@ class TestServerEvents:
         injector = make(FaultConfig())
         for day in range(5):
             assert injector.server_events(day) == ([], [])
+
+
+class TestEdgeCases:
+    def test_server_crash_on_day_zero(self):
+        """Day 0 is the network build day — crashing then must still
+        fire a crash event and later the recovery."""
+        injector = make(
+            FaultConfig(server_crash_day=0, server_downtime_days=2)
+        )
+        assert injector.server_events(0) == ([0], [])
+        assert injector.server_events(1) == ([], [])
+        assert injector.server_events(2) == ([], [0])
+
+    def test_day_zero_crash_through_the_network(self):
+        import dataclasses
+
+        from repro.edonkey.network import NetworkConfig, build_network
+        from repro.workload.config import WorkloadConfig
+
+        workload = dataclasses.replace(
+            WorkloadConfig().small(),
+            num_clients=30,
+            num_files=400,
+            days=3,
+            mainstream_pool_size=30,
+        )
+        network = build_network(
+            NetworkConfig(
+                workload=workload,
+                num_servers=2,
+                faults=FaultConfig(server_crash_day=0, server_downtime_days=0),
+            ),
+            seed=2,
+        )
+        network.advance_day()  # enters day 0: the crash fires
+        assert network.down_servers == {0}
+        for _ in range(2):
+            network.advance_day()
+        # downtime 0: the server never recovers, and the network still
+        # satisfies its structural invariants throughout.
+        assert network.down_servers == {0}
+        assert network.check_invariants() == []
+
+    def test_downtime_interacts_with_session_churn(self):
+        """A peer can be flaky-offline and session-offline at once; the
+        daily redraw never resurrects a churned-out session, and dropping
+        downtime to zero mid-run clears the flaky set."""
+        from repro.faults import FaultSchedule, FaultWindow
+
+        schedule = FaultSchedule(
+            windows=(
+                FaultWindow(start=0, end=2, overrides={"peer_downtime": 0.5}),
+            )
+        )
+        injector = FaultInjector(
+            FaultConfig(), RngStream(4, "test-faults"), schedule=schedule
+        )
+        injector.advance_day(0, range(100))
+        assert injector.flaky_offline
+        injector.advance_day(1, range(50))  # churn shrank the population
+        assert injector.flaky_offline <= set(range(50))
+        injector.advance_day(2, range(50))  # window closed
+        assert injector.flaky_offline == set()

@@ -118,3 +118,61 @@ class TestStableChoice:
         rng = make_rng(0)
         picks = [stable_choice(rng, ["x", "y"], [99.0, 1.0]) for _ in range(300)]
         assert picks.count("x") > 250
+
+
+class TestStateRoundTrip:
+    """getstate()/setstate() and pickling must resume mid-sequence
+    exactly — the foundation of checkpoint/resume byte-identity."""
+
+    def test_python_stream_resumes_mid_sequence(self):
+        stream = RngStream(7, "state")
+        [stream.py.random() for _ in range(100)]  # advance mid-sequence
+        state = stream.getstate()
+        expected = [stream.py.random() for _ in range(50)]
+        stream.setstate(state)
+        assert [stream.py.random() for _ in range(50)] == expected
+
+    def test_numpy_stream_resumes_mid_sequence(self):
+        stream = RngStream(7, "state")
+        stream.np.random(100)
+        state = stream.getstate()
+        expected = stream.np.random(50)
+        stream.setstate(state)
+        assert (stream.np.random(50) == expected).all()
+
+    def test_pickle_round_trip_resumes_both_streams(self):
+        import pickle
+
+        stream = RngStream(7, "state")
+        stream.py.random()
+        stream.np.random(13)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone.seed == stream.seed
+        assert clone.label == stream.label
+        assert [clone.py.random() for _ in range(20)] == [
+            stream.py.random() for _ in range(20)
+        ]
+        assert (clone.np.random(20) == stream.np.random(20)).all()
+
+    def test_restored_stream_spawns_identical_children(self):
+        stream = RngStream(7, "state")
+        stream.py.random()
+        restored = RngStream(0, "other")
+        restored.setstate(stream.getstate())
+        assert restored.label == "state"
+        a = stream.child("sub")
+        b = restored.child("sub")
+        assert a.py.random() == b.py.random()
+
+    def test_setstate_rejects_foreign_payload(self):
+        stream = RngStream(7, "state")
+        with pytest.raises(ValueError):
+            stream.setstate(("some.other.tag/9", 7, "state", None, None))
+
+    def test_state_capture_does_not_disturb_the_stream(self):
+        a = RngStream(7, "state")
+        b = RngStream(7, "state")
+        a.getstate()
+        a.getstate()
+        assert a.py.random() == b.py.random()
+        assert (a.np.random(5) == b.np.random(5)).all()
