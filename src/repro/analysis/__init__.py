@@ -12,7 +12,10 @@ Module map (see DESIGN.md for the full per-experiment index):
   popularity dynamics);
 - :mod:`repro.analysis.geographic` — Figure 4, Table 2, Figures 11, 12;
 - :mod:`repro.analysis.semantic` — Figures 13, 14, 15, 16, 17 (clustering
-  correlation and overlap dynamics).
+  correlation and overlap dynamics);
+- :mod:`repro.analysis.streaming` — out-of-core variants of the popularity
+  and overlap analyses over a :class:`~repro.trace.store.TraceStore`,
+  holding at most a day window in memory.
 """
 
 from repro.analysis.contribution import (
@@ -34,6 +37,14 @@ from repro.analysis.semantic import (
     overlap_evolution,
     pair_overlaps,
 )
+from repro.analysis.streaming import (
+    streaming_file_spread,
+    streaming_max_spread_fraction,
+    streaming_overlap_evolution,
+    streaming_rank_evolution,
+    streaming_rank_replication,
+    streaming_top_files_on,
+)
 
 __all__ = [
     "clustering_correlation",
@@ -46,5 +57,11 @@ __all__ = [
     "rank_evolution",
     "rank_replication",
     "size_cdf_by_popularity",
+    "streaming_file_spread",
+    "streaming_max_spread_fraction",
+    "streaming_overlap_evolution",
+    "streaming_rank_evolution",
+    "streaming_rank_replication",
+    "streaming_top_files_on",
     "top_as_table",
 ]

@@ -1,0 +1,245 @@
+"""Out-of-core variants of the day-indexed analyses.
+
+Each function here mirrors one in :mod:`repro.analysis.popularity` or
+:mod:`repro.analysis.semantic`, but takes a
+:class:`~repro.trace.store.TraceStore` instead of an in-memory
+:class:`~repro.trace.model.Trace` and never holds more than a **day
+window** in RAM: one mmapped segment plus the per-day derived state
+(counts, tracked-client caches).  That is what makes 56-day / multi-month
+traces a first-class analysis workload — the whole-trace Python object
+graph never exists.
+
+Equivalence contract: on any trace, converting to a store and running the
+streaming variant produces results **equal** to the in-memory engine —
+same Series names, xs and ys (pinned by
+``tests/trace/test_streaming_equivalence.py`` on seeded SMALL traces).
+Two properties make this exact rather than approximate:
+
+- replica counts, spreads and ranks are integer arithmetic per day, so
+  recomputing them day-at-a-time from the segment columns yields the very
+  same numbers;
+- the overlap-evolution means are ``sum(ints)/len``, and the pair groups /
+  subsampling draw from sorted pair lists, so neither client iteration
+  order nor the int-vs-string cache representation can perturb them
+  (intersection *sizes* are representation-independent).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.semantic import pair_overlaps
+from repro.trace.model import ClientId, FileId
+from repro.trace.store import TraceStore
+from repro.util.cdf import Series
+from repro.util.rng import RngStream
+
+
+def streaming_rank_replication(
+    store: TraceStore, day: int, max_rank: Optional[int] = None
+) -> Series:
+    """Sources-per-file against file rank for one day (Figure 5);
+    equals :func:`repro.analysis.popularity.rank_replication`."""
+    counts = store.segment(day).replica_counts()
+    ordered = sorted(counts.values(), reverse=True)
+    if max_rank is not None:
+        ordered = ordered[:max_rank]
+    series = Series(name=f"day {day} ({len(counts)} files)")
+    for rank, sources in enumerate(ordered, start=1):
+        series.append(rank, sources)
+    store.release_day(day)
+    return series
+
+
+def streaming_top_files_on(store: TraceStore, day: int, k: int) -> List[FileId]:
+    """The ``k`` most replicated files of ``day`` (ties broken by id);
+    equals :func:`repro.analysis.popularity.top_files_on`."""
+    counts = store.day_replica_counts(day)
+    store.release_day(day)
+    return sorted(counts, key=lambda f: (-counts[f], f))[:k]
+
+
+def streaming_file_spread(
+    store: TraceStore,
+    file_ids: Optional[Sequence[FileId]] = None,
+    top_k: int = 6,
+    reference_day: Optional[int] = None,
+) -> List[Series]:
+    """Per-day spread of the given files (Figure 8); equals
+    :func:`repro.analysis.popularity.file_spread` for explicit
+    ``file_ids`` or a ``reference_day``.
+
+    The in-memory default (no files, no reference day) ranks by *static*
+    replica counts — distinct clients per file over the whole trace —
+    which inherently needs more than a day window; pass ``file_ids`` or
+    ``reference_day`` here instead.
+    """
+    if file_ids is None:
+        if reference_day is None:
+            raise ValueError(
+                "streaming_file_spread needs file_ids or reference_day: "
+                "the static top-k default requires whole-trace state "
+                "(use the in-memory engine for that selection)"
+            )
+        file_ids = streaming_top_files_on(store, reference_day, top_k)
+    index = store.file_index
+    tracked = [index[fid] for fid in file_ids]
+    # One pass: per day, the observed-client count and each tracked file's
+    # holder count (holders == the day's replica count of that file).
+    points: List[List[Tuple[int, float]]] = [[] for _ in tracked]
+    for day, seg in store.iter_days():
+        if seg.n_clients == 0:
+            continue
+        counts = seg.replica_counts()
+        for slot, idx in enumerate(tracked):
+            points[slot].append(
+                (day, 100.0 * counts.get(idx, 0) / seg.n_clients)
+            )
+    out: List[Series] = []
+    for i, slot_points in enumerate(points, start=1):
+        series = Series(name=f"#{i}")
+        for day, value in slot_points:
+            series.append(day, value)
+        out.append(series)
+    return out
+
+
+def streaming_rank_evolution(
+    store: TraceStore, reference_day: int, top_k: int = 5
+) -> List[Series]:
+    """Daily rank of ``reference_day``'s top files (Figures 9 and 10);
+    equals :func:`repro.analysis.popularity.rank_evolution`."""
+    tracked = streaming_top_files_on(store, reference_day, top_k)
+    fids = store.file_ids
+    index = store.file_index
+    tracked_idx = [index[fid] for fid in tracked]
+    points: List[List[Tuple[int, int]]] = [[] for _ in tracked]
+    for day, seg in store.iter_days():
+        counts = seg.replica_counts()
+        if not counts:
+            continue
+        # Rank = 1 + files strictly more replicated + equally-replicated
+        # files with a smaller id (the in-memory sort's tie-break).  Only
+        # the tracked files' ranks are needed, so the day's rank map is
+        # never materialized.
+        for slot, idx in enumerate(tracked_idx):
+            mine = counts.get(idx)
+            if mine is None:
+                continue
+            my_id = fids[idx]
+            rank = 1 + sum(
+                1
+                for other, n in counts.items()
+                if n > mine or (n == mine and fids[other] < my_id)
+            )
+            points[slot].append((day, rank))
+    out: List[Series] = []
+    for i, slot_points in enumerate(points, start=1):
+        series = Series(name=f"#{i}")
+        for day, rank in slot_points:
+            series.append(day, rank)
+        out.append(series)
+    return out
+
+
+def streaming_max_spread_fraction(store: TraceStore) -> float:
+    """The largest single-day spread of any file; equals
+    :func:`repro.analysis.popularity.max_spread_fraction`."""
+    best = 0.0
+    for _day, seg in store.iter_days():
+        if seg.n_clients == 0:
+            continue
+        counts = seg.replica_counts()
+        if not counts:
+            continue
+        best = max(best, max(counts.values()) / seg.n_clients)
+    return best
+
+
+def streaming_overlap_evolution(
+    store: TraceStore,
+    first_day: Optional[int] = None,
+    overlap_levels: Optional[Sequence[int]] = None,
+    max_pairs_per_level: int = 500,
+    seed: int = 0,
+) -> List[Series]:
+    """Mean overlap over time for pair groups fixed on the first day
+    (Figures 15-17); equals
+    :func:`repro.analysis.semantic.overlap_evolution`.
+
+    All set arithmetic runs on the store's global int columns (the ids
+    intern bijectively, so overlap counts are identical); only the first
+    day's pair enumeration and, per follow day, the tracked clients'
+    caches are held in memory.
+    """
+    days = store.days()
+    if not days:
+        raise ValueError("trace has no days")
+    if first_day is None:
+        first_day = days[0]
+    if first_day not in days:
+        raise ValueError(f"first_day {first_day} not in trace")
+
+    base = store.day_int_caches(first_day)
+    overlaps = pair_overlaps({c: f for c, f in base.items() if f})
+    del base
+    groups: Dict[int, List[Tuple[ClientId, ClientId]]] = defaultdict(list)
+    for pair, n in overlaps.items():
+        groups[n].append(pair)
+
+    if overlap_levels is None:
+        overlap_levels = sorted(groups)
+    rng = RngStream(seed, "overlap-evolution")
+
+    selected: List[Tuple[int, int, List[Tuple[ClientId, ClientId]]]] = []
+    for level in overlap_levels:
+        pairs = groups.get(level, [])
+        if not pairs:
+            continue
+        full_size = len(pairs)
+        if full_size > max_pairs_per_level:
+            pairs = rng.sample_without_replacement(
+                sorted(pairs), max_pairs_per_level
+            )
+        selected.append((level, full_size, pairs))
+
+    tracked = {c for _, _, pairs in selected for pair in pairs for c in pair}
+    # Day-outer accumulation (the in-memory engine loops level-outer over
+    # prefetched day caches); per (level, day) the appended mean is the
+    # same number, and days are visited in the same ascending order, so
+    # the resulting Series are identical.
+    per_level_points: List[List[Tuple[int, float]]] = [[] for _ in selected]
+    client_ids = store.client_ids
+    for day in days:
+        if day < first_day:
+            continue
+        seg = store.segment(day)
+        snaps = {
+            cid: frozenset(seg.cache_column(j))
+            for j, cid in (
+                (j, client_ids[seg.rows[j]]) for j in range(seg.n_clients)
+            )
+            if cid in tracked
+        }
+        store.release_day(day)
+        for slot, (_level, _full, pairs) in enumerate(selected):
+            values: List[int] = []
+            for a, b in pairs:
+                cache_a = snaps.get(a)
+                cache_b = snaps.get(b)
+                if cache_a is None or cache_b is None:
+                    continue
+                values.append(len(cache_a & cache_b))
+            if values:
+                per_level_points[slot].append((day, sum(values) / len(values)))
+
+    out: List[Series] = []
+    for (level, full_size, _pairs), slot_points in zip(
+        selected, per_level_points
+    ):
+        series = Series(name=f"{level} Common Files, {full_size} Pairs")
+        for day, mean in slot_points:
+            series.append(day, mean)
+        out.append(series)
+    return out

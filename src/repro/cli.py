@@ -10,7 +10,12 @@
   name (``--list`` prints the registry);
 - ``run-all``    — run every registered experiment, writing one run
   manifest each (skipped on a later run if the manifest still matches);
-- ``crawl``      — run the protocol-level network + crawler simulation.
+- ``crawl``      — run the protocol-level network + crawler simulation
+  (``--store DIR`` additionally appends each day to an on-disk trace
+  store as it completes);
+- ``trace``      — convert between JSONL traces and columnar trace
+  stores (``convert``), summarize either (``info``), and run a full
+  store integrity check (``verify``).
 
 Every command takes ``--seed`` and prints deterministic output, so CLI
 runs are reproducible and scriptable.  ``experiment`` and ``run-all``
@@ -461,6 +466,93 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace (store tooling)
+
+
+def _is_store(path: str) -> bool:
+    return os.path.isdir(path)
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.trace.io import convert_trace_file_to_store, store_to_trace_file
+    from repro.trace.store import TraceStoreError
+
+    try:
+        if _is_store(args.src):
+            store_to_trace_file(args.src, args.dst)
+            print(f"Wrote trace file {args.dst} from store {args.src}")
+        else:
+            store = convert_trace_file_to_store(args.src, args.dst)
+            with store:
+                print(
+                    f"Wrote store {args.dst}: {len(store.days())} days, "
+                    f"{store.num_clients} clients, {store.num_files} files, "
+                    f"{store.num_snapshots} snapshots"
+                )
+    except (OSError, ValueError) as exc:  # TraceStoreError is a ValueError
+        kind = "store" if isinstance(exc, TraceStoreError) else "trace"
+        print(f"error: cannot convert {kind}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.util.tables import format_table
+
+    try:
+        if _is_store(args.path):
+            from repro.trace.store import open_store
+
+            with open_store(args.path) as store:
+                manifest = store.manifest
+                print(f"Trace store {args.path} ({manifest['format']})")
+                print(
+                    f"  clients={store.num_clients} files={store.num_files} "
+                    f"snapshots={store.num_snapshots} "
+                    f"sorted_intern={manifest['sorted_intern']}"
+                )
+                rows = [
+                    (s["day"], s["clients"], s["replicas"], s["sha256"][:12])
+                    for s in manifest["segments"]
+                ]
+                print(
+                    format_table(
+                        ("day", "clients", "replicas", "sha256[:12]"),
+                        rows,
+                        title=f"Segments ({len(rows)})",
+                    )
+                )
+        else:
+            from repro.trace.io import load_trace
+
+            trace = load_trace(args.path)
+            days = trace.days()
+            span = f"{days[0]}..{days[-1]}" if days else "none"
+            print(f"Trace file {args.path}")
+            print(
+                f"  clients={len(trace.clients)} files={len(trace.files)} "
+                f"snapshots={trace.num_snapshots} days={len(days)} ({span})"
+            )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace_verify(args: argparse.Namespace) -> int:
+    from repro.trace.store import verify_store
+
+    problems = verify_store(args.path)
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: OK")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # crawl
 
 
@@ -519,6 +611,14 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         if crawler.config.days != args.days:
             mismatches.append(
                 f"days: checkpoint={crawler.config.days}, flag={args.days}"
+            )
+        # The store directory rides inside the checkpoint (resume keeps
+        # appending to the same store); re-specifying a *different* one
+        # would silently split the trace across two stores.
+        restored_store = getattr(crawler, "store_dir", None)
+        if args.store is not None and restored_store != os.fspath(args.store):
+            mismatches.append(
+                f"store: checkpoint={restored_store}, flag={args.store}"
             )
         if mismatches:
             print(
@@ -589,7 +689,10 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         )
         retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
         crawler = Crawler(
-            network, CrawlerConfig(days=args.days, retry=retry), seed=args.seed
+            network,
+            CrawlerConfig(days=args.days, retry=retry),
+            seed=args.seed,
+            store_dir=args.store,
         )
         print(f"Crawling {args.clients} clients for {args.days} days...")
 
@@ -616,6 +719,8 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     if args.output:
         save_trace(trace, args.output)
         print(f"Wrote trace to {args.output}")
+    if getattr(crawler, "store_dir", None):
+        print(f"Appended {len(trace.days())} day segments to {crawler.store_dir}")
     _emit_observability(
         args,
         obs,
@@ -778,6 +883,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-schedule", metavar="PATH",
                    help="JSON fault schedule (repro.faults.schedule/1) "
                    "applying per-day FaultConfig overrides")
+    p.add_argument("--store", metavar="DIR",
+                   help="append each completed day to an on-disk columnar "
+                   "trace store at DIR (created if absent)")
     p.add_argument("--checkpoint-dir", metavar="DIR",
                    help="write an end-of-day checkpoint here after every "
                    "simulated day")
@@ -789,6 +897,31 @@ def build_parser() -> argparse.ArgumentParser:
                    "is written (chaos testing; requires --checkpoint-dir)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_crawl)
+
+    p = subparsers.add_parser(
+        "trace", help="trace file / trace store tooling"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "convert",
+        help="JSONL trace file -> columnar store directory, or back "
+        "(direction inferred: a directory source is a store)",
+    )
+    p.add_argument("src", help="source trace file or store directory")
+    p.add_argument("dst", help="destination store directory or trace file")
+    p.set_defaults(func=cmd_trace_convert)
+    p = trace_sub.add_parser(
+        "info", help="summarize a trace file or store directory"
+    )
+    p.add_argument("path", help="trace file or store directory")
+    p.set_defaults(func=cmd_trace_info)
+    p = trace_sub.add_parser(
+        "verify",
+        help="full integrity check of a store (hashes, structure); "
+        "non-zero exit when problems are found",
+    )
+    p.add_argument("path", help="store directory")
+    p.set_defaults(func=cmd_trace_verify)
 
     return parser
 

@@ -21,9 +21,10 @@ Fidelity notes mirrored from the paper:
 from __future__ import annotations
 
 import itertools
+import os
 import string
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.checkpoint import Checkpointer
@@ -134,6 +135,7 @@ class Crawler:
         seed: Optional[int] = None,
         obs: Optional[Observer] = None,
         ctx: Optional["RunContext"] = None,
+        store_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
     ) -> None:
         if ctx is not None:
             if seed is None:
@@ -160,6 +162,13 @@ class Crawler:
         # picks up exactly where the snapshot was taken.
         self._trace: Optional[Trace] = None
         self._next_day_offset = 0
+        # Incremental trace-store output (a plain string so it pickles
+        # into checkpoints).  Each completed day is appended *before* the
+        # day's checkpoint, so a crash-and-resume replays the day and
+        # idempotently rewrites the same segment.
+        self.store_dir: Optional[str] = (
+            os.fspath(store_dir) if store_dir is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Discovery
@@ -311,6 +320,24 @@ class Crawler:
             )
         )
 
+    def _append_store_day(self, day: int, trace: Trace) -> None:
+        """Append ``day``'s snapshots to the on-disk trace store.
+
+        The writer is opened per day (no open handle survives a crash or a
+        pickle round-trip) and the append happens *before* the day's
+        checkpoint: a crash between the two makes resume replay the day,
+        and re-appending deterministically replaces the same segment.
+        """
+        from repro.trace.store import TraceStoreWriter
+
+        with TraceStoreWriter.open(self.store_dir, create=True) as writer:
+            writer.append_day(
+                day,
+                trace.snapshots_on(day),
+                files=trace.files,
+                clients=trace.clients,
+            )
+
     # ------------------------------------------------------------------
     # Checkpointing
 
@@ -404,8 +431,12 @@ class Crawler:
                         with obs.span("sweep_nicknames"):
                             self.sweep_nicknames()
                     budget = self.config.budget_on(day_offset)
+                    network_day = self.network.day
                     with obs.span("browse"):
-                        self.browse_all(trace, self.network.day, budget)
+                        self.browse_all(trace, network_day, budget)
+                    if self.store_dir is not None:
+                        with obs.span("store_append"):
+                            self._append_store_day(network_day, trace)
                     self.network.advance_day()
                 self._next_day_offset = day_offset + 1
                 if checkpointer is not None:

@@ -18,7 +18,13 @@ The pipeline mirrors Section 2.3 of the paper:
 
 from repro.trace.extrapolation import ExtrapolationConfig, extrapolate
 from repro.trace.filtering import filter_duplicates
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import (
+    convert_trace_file_to_store,
+    load_trace,
+    save_trace,
+    store_to_trace_file,
+    trace_to_store,
+)
 from repro.trace.model import (
     ClientMeta,
     FileMeta,
@@ -32,6 +38,13 @@ from repro.trace.stats import (
     discovery_curve,
     general_characteristics,
 )
+from repro.trace.store import (
+    TraceStore,
+    TraceStoreError,
+    TraceStoreWriter,
+    open_store,
+    verify_store,
+)
 
 __all__ = [
     "ClientMeta",
@@ -41,11 +54,19 @@ __all__ = [
     "StaticTrace",
     "Trace",
     "TraceCharacteristics",
+    "TraceStore",
+    "TraceStoreError",
+    "TraceStoreWriter",
+    "convert_trace_file_to_store",
     "daily_counts",
     "discovery_curve",
     "extrapolate",
     "filter_duplicates",
     "general_characteristics",
     "load_trace",
+    "open_store",
     "save_trace",
+    "store_to_trace_file",
+    "trace_to_store",
+    "verify_store",
 ]

@@ -59,10 +59,27 @@ from repro.trace.model import ClientId, FileId, pair_key
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.trace.model import StaticTrace
 
-try:  # scipy is optional; the combinations kernel covers its absence
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover - exercised only without scipy
-    _sparse = None
+_sparse = None
+_sparse_checked = False
+
+
+def _get_sparse():
+    """Import ``scipy.sparse`` on first use, not at module import.
+
+    scipy is optional (the combinations kernel covers its absence) and
+    heavy (~30 MB RSS), so importing it eagerly would tax every consumer
+    of the trace layer — including streaming analyses whose whole point
+    is a small footprint — whether or not the CSR kernel ever runs.
+    """
+    global _sparse, _sparse_checked
+    if not _sparse_checked:
+        _sparse_checked = True
+        try:
+            from scipy import sparse as _sparse_mod
+        except ImportError:  # pragma: no cover - only without scipy
+            _sparse_mod = None
+        _sparse = _sparse_mod
+    return _sparse
 
 FileIdx = int
 
@@ -113,12 +130,15 @@ class CompiledTrace:
         self.cache_offsets = offsets
         self.cache_files = files
         self.cache_sets: Tuple[FrozenSet[FileIdx], ...] = tuple(sets)
+        self._build_inverted_index()
+        self._csr = None
 
+    def _build_inverted_index(self) -> None:
         # Inverted index: count, prefix-sum, fill — client rows ascending
         # because rows are visited in ascending order.
         m = len(self.file_ids)
         counts = array("i", bytes(4 * m)) if m else array("i")
-        for idx in files:
+        for idx in self.cache_files:
             counts[idx] += 1
         self.static_counts = counts
         sharer_offsets = array("q", [0] * (m + 1))
@@ -137,7 +157,6 @@ class CompiledTrace:
                 fill[idx] += 1
         self.sharer_offsets = sharer_offsets
         self.sharer_rows = sharer_rows
-        self._csr = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -162,6 +181,58 @@ class CompiledTrace:
             for cid in client_ids
         ]
         return cls(file_ids, client_ids, columns)
+
+    @classmethod
+    def from_columns(
+        cls,
+        file_ids: Sequence[FileId],
+        client_ids: Sequence[ClientId],
+        cache_files,
+        cache_offsets,
+        file_index: Optional[Dict[FileId, FileIdx]] = None,
+    ) -> "CompiledTrace":
+        """Adopt prebuilt CSR columns instead of re-interning.
+
+        This is the out-of-core path: :meth:`TraceStore.compiled_day
+        <repro.trace.store.TraceStore.compiled_day>` hands the mmapped
+        segment columns straight in (``memoryview`` slices work — every
+        consumer, including the scipy kernel, reads them through the
+        buffer protocol), so the columns themselves are zero-copy.  Only
+        the per-row membership sets and the inverted index are derived,
+        in one pass over the replicas.  ``cache_files`` must be sorted
+        ascending per client and ``cache_offsets`` must be a CSR offsets
+        column (``offsets[0] == 0``, ``offsets[-1] == len(cache_files)``).
+        ``file_index`` (when given) is adopted without copying — callers
+        interning many days against one table share it.
+        """
+        self = cls.__new__(cls)
+        self.file_ids = tuple(file_ids)
+        self.file_index = (
+            file_index
+            if file_index is not None
+            else {fid: i for i, fid in enumerate(self.file_ids)}
+        )
+        self.client_ids = tuple(client_ids)
+        self.client_row = {cid: r for r, cid in enumerate(self.client_ids)}
+        if len(self.client_row) != len(self.client_ids):
+            raise ValueError("duplicate client ids")
+        n = len(self.client_ids)
+        if len(cache_offsets) != n + 1:
+            raise ValueError(
+                f"offsets column has {len(cache_offsets)} entries for "
+                f"{n} clients (need n+1)"
+            )
+        if cache_offsets[0] != 0 or cache_offsets[n] != len(cache_files):
+            raise ValueError("CSR offsets do not span the files column")
+        self.cache_files = cache_files
+        self.cache_offsets = cache_offsets
+        self.cache_sets = tuple(
+            frozenset(cache_files[cache_offsets[r] : cache_offsets[r + 1]])
+            for r in range(n)
+        )
+        self._build_inverted_index()
+        self._csr = None
+        return self
 
     # ------------------------------------------------------------------
     # Sizes
@@ -269,7 +340,7 @@ class CompiledTrace:
             import numpy as np
 
             data = np.ones(len(self.cache_files), dtype=np.int32)
-            self._csr = _sparse.csr_matrix(
+            self._csr = _get_sparse().csr_matrix(
                 (
                     data,
                     np.frombuffer(self.cache_files, dtype=np.int32),
@@ -291,7 +362,7 @@ class CompiledTrace:
         otherwise.  ``file_mask[idx]`` restricts the computation to the
         files where it is true.
         """
-        if _sparse is not None and self.num_files:
+        if _get_sparse() is not None and self.num_files:
             return self._pair_overlaps_csr(file_mask)
         return self._pair_overlaps_counter(file_mask)
 

@@ -188,6 +188,15 @@ class Trace:
             for client_id in sorted(day_map):
                 yield Snapshot(day, client_id, day_map[client_id])
 
+    def iter_day_snapshots(
+        self,
+    ) -> Iterator[Tuple[int, Mapping[ClientId, FrozenSet[FileId]]]]:
+        """Iterate ``(day, {client -> cache})`` in day order, without
+        copying the per-day maps — the unit of work for day-at-a-time
+        consumers (the on-disk store converter streams over this)."""
+        for day in self.days():
+            yield day, self._snapshots[day]
+
     # ------------------------------------------------------------------
     # Derived indexes
 

@@ -488,3 +488,118 @@ class TestCalibrateCommand:
         rc = main(["calibrate", "--trace", str(out)])
         assert rc == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        out = tmp_path / "t.jsonl.gz"
+        main(["generate", "--scale", "tiny", "--seed", "5", "-o", str(out)])
+        return out
+
+    def test_convert_to_store_and_back(self, tmp_path, trace_file, capsys):
+        store = tmp_path / "store"
+        rc = main(["trace", "convert", str(trace_file), str(store)])
+        assert rc == 0
+        assert "Wrote store" in capsys.readouterr().out
+        assert (store / "manifest.json").exists()
+
+        back = tmp_path / "back.jsonl.gz"
+        rc = main(["trace", "convert", str(store), str(back)])
+        assert rc == 0
+        from repro.trace.io import load_trace
+        from repro.trace.store import open_store
+
+        a = load_trace(trace_file)
+        with open_store(store) as opened:
+            b = opened.to_trace()
+        assert dict(a.files) == dict(b.files)
+        assert dict(a.clients) == dict(b.clients)
+        assert all(a.snapshots_on(d) == b.snapshots_on(d) for d in a.days())
+        c = load_trace(back)
+        assert all(a.snapshots_on(d) == c.snapshots_on(d) for d in a.days())
+
+    def test_info_on_store_and_file(self, tmp_path, trace_file, capsys):
+        store = tmp_path / "store"
+        main(["trace", "convert", str(trace_file), str(store)])
+        capsys.readouterr()
+        assert main(["trace", "info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.tracestore/1" in out
+        assert "Segments" in out
+        assert main(["trace", "info", str(trace_file)]) == 0
+        assert "Trace file" in capsys.readouterr().out
+
+    def test_verify_clean_and_corrupt(self, tmp_path, trace_file, capsys):
+        store = tmp_path / "store"
+        main(["trace", "convert", str(trace_file), str(store)])
+        assert main(["trace", "verify", str(store)]) == 0
+        assert "OK" in capsys.readouterr().out
+        seg = next(store.glob("day-*.seg"))
+        data = bytearray(seg.read_bytes())
+        data[-1] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        assert main(["trace", "verify", str(store)]) == 1
+        assert "sha256 mismatch" in capsys.readouterr().err
+
+    def test_convert_missing_source_exits_two(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "convert", str(tmp_path / "nope.jsonl"),
+             str(tmp_path / "store")]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_convert_truncated_source_exits_two(self, tmp_path, trace_file, capsys):
+        cut = tmp_path / "cut.jsonl.gz"
+        data = trace_file.read_bytes()
+        cut.write_bytes(data[: len(data) // 2])
+        rc = main(["trace", "convert", str(cut), str(tmp_path / "store")])
+        assert rc == 2
+        assert "truncated" in capsys.readouterr().err
+
+
+class TestCrawlStoreFlag:
+    def test_crawl_store_writes_verified_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        out = tmp_path / "crawl.jsonl"
+        rc = main(
+            ["crawl", "--clients", "30", "--days", "3", "--seed", "2",
+             "--store", str(store), "-o", str(out)]
+        )
+        assert rc == 0
+        assert "Appended 3 day segments" in capsys.readouterr().out
+        assert main(["trace", "verify", str(store)]) == 0
+
+        from repro.trace.io import load_trace
+        from repro.trace.store import open_store
+
+        a = load_trace(out)
+        with open_store(store) as opened:
+            b = opened.to_trace()
+        assert all(a.snapshots_on(d) == b.snapshots_on(d) for d in a.days())
+
+    def test_resume_with_different_store_exits_two(self, tmp_path, capsys):
+        from repro.checkpoint import Checkpointer
+        from repro.edonkey.crawler import Crawler, CrawlerConfig
+        from repro.edonkey.network import NetworkConfig, build_network
+        from repro.runtime import Scale, workload_config
+        import dataclasses
+
+        workload = dataclasses.replace(
+            workload_config(Scale.SMALL), num_clients=30, num_files=500,
+            days=3, mainstream_pool_size=30,
+        )
+        network = build_network(NetworkConfig(workload=workload), seed=2)
+        crawler = Crawler(
+            network, CrawlerConfig(days=3), seed=2,
+            store_dir=tmp_path / "store",
+        )
+        crawler.crawl(checkpointer=Checkpointer(tmp_path / "ckpt"))
+        rc = main(
+            ["crawl", "--clients", "30", "--days", "3", "--seed", "2",
+             "--checkpoint-dir", str(tmp_path / "ckpt"), "--resume",
+             "--store", str(tmp_path / "elsewhere")]
+        )
+        assert rc == 2
+        assert "store" in capsys.readouterr().err

@@ -1,0 +1,219 @@
+"""Trace-I/O integrity: truncation detection, header validation, gzip
+sniffing, and collision-free anonymization.
+
+These pin the bugfixes of the trace-store PR: a trace file cut at a record
+boundary used to load silently as a smaller trace, the container format was
+decided by the file name alone, and anonymize could merge two distinct
+identities whose hash prefixes collided.
+"""
+
+import gzip
+import json
+
+import pytest
+
+import repro.trace.io as trace_io
+from repro.trace.io import (
+    _collision_free_hashes,
+    anonymize,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+from tests.conftest import build_trace, make_client, make_file
+
+
+def sample_trace():
+    return build_trace(
+        {1: {0: ["a", "b"], 1: []}, 2: {0: ["b"], 1: ["a"]}},
+        clients=[make_client(0), make_client(1)],
+        files=[make_file("a"), make_file("b")],
+    )
+
+
+class TestTruncationDetected:
+    """The pinned regression tests: ``load_trace`` on a truncated trace
+    raises instead of returning a silently smaller trace."""
+
+    def test_plain_trace_cut_at_record_boundary(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(sample_trace(), path)
+        lines = path.read_text().splitlines(keepends=True)
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("".join(lines[:-1]))  # drop the last record, cleanly
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_trace(cut)
+
+    def test_plain_trace_missing_metadata_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(sample_trace(), path)
+        lines = path.read_text().splitlines(keepends=True)
+        # Drop a *metadata* line (index 1 = first file record): the stream
+        # stays well-formed JSONL but no longer matches the header counts.
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("".join(lines[:1] + lines[2:]))
+        with pytest.raises(ValueError, match="header declares 2 file"):
+            load_trace(cut)
+
+    def test_gzip_trace_cut_mid_stream(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(sample_trace(), path)
+        data = path.read_bytes()
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(cut)
+
+    def test_gzip_trace_missing_trailer(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(sample_trace(), path)
+        data = path.read_bytes()
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(data[:-4])  # strip the length trailer
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(cut)
+
+    def test_intact_trace_still_loads(self, tmp_path):
+        for name in ("t.jsonl", "t.jsonl.gz"):
+            path = tmp_path / name
+            save_trace(sample_trace(), path)
+            assert load_trace(path).num_snapshots == 4
+
+
+class TestHeaderValidation:
+    def test_count_mismatch_raises(self):
+        text = (
+            json.dumps(
+                {"type": "header", "version": 1, "snapshots": 7, "files": 0,
+                 "clients": 0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="declares 7 snapshot"):
+            loads_trace(text)
+
+    def test_header_without_counts_is_accepted(self):
+        # Back-compat: hand-written headers carry no counts; the stream is
+        # taken at face value.
+        trace = loads_trace('{"type": "header", "version": 1}')
+        assert trace.num_snapshots == 0
+
+    def test_duplicate_header_rejected(self):
+        text = (
+            '{"type": "header", "version": 1}\n'
+            '{"type": "header", "version": 1}'
+        )
+        with pytest.raises(ValueError, match="duplicate header"):
+            loads_trace(text)
+
+    def test_record_before_header_rejected(self):
+        text = (
+            '{"type": "file", "id": "a", "size": 1}\n'
+            '{"type": "header", "version": 1}'
+        )
+        with pytest.raises(ValueError, match="before the header"):
+            loads_trace(text)
+
+    def test_matching_counts_load(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(sample_trace(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["files"] == 2
+        assert header["clients"] == 2
+        assert header["snapshots"] == 4
+
+
+class TestGzipSniffing:
+    """The container format is decided by magic bytes, not the file name."""
+
+    def test_gzip_content_without_gz_suffix(self, tmp_path):
+        gz = tmp_path / "t.jsonl.gz"
+        save_trace(sample_trace(), gz)
+        misnamed = tmp_path / "t.jsonl"  # gzip bytes, plain name
+        misnamed.write_bytes(gz.read_bytes())
+        assert load_trace(misnamed).num_snapshots == 4
+
+    def test_plain_content_with_gz_suffix(self, tmp_path):
+        plain = tmp_path / "t.jsonl"
+        save_trace(sample_trace(), plain)
+        misnamed = tmp_path / "misnamed.jsonl.gz"  # plain bytes, gz name
+        misnamed.write_bytes(plain.read_bytes())
+        assert load_trace(misnamed).num_snapshots == 4
+
+    def test_actual_gzip_still_loads(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(sample_trace(), path)
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        assert load_trace(path).num_snapshots == 4
+
+
+class TestAnonymizeCollisions:
+    def test_prefix_collision_widens_deterministically(self, monkeypatch):
+        real_digest = trace_io._digest
+
+        def colliding(salt, value):
+            # Force every token into the same 16-char prefix; the full
+            # digests still differ, so widening must separate them.
+            return "0" * 16 + real_digest(salt, value)[16:]
+
+        monkeypatch.setattr(trace_io, "_digest", colliding)
+        out = _collision_free_hashes("s", "uid:", ["u1", "u2", "u3"], 16)
+        assert len(set(out.values())) == 3
+        assert all(len(v) == 32 for v in out.values())
+
+    def test_distinct_identities_stay_distinct(self, monkeypatch):
+        real_digest = trace_io._digest
+
+        def colliding(salt, value):
+            return "0" * 16 + real_digest(salt, value)[16:]
+
+        monkeypatch.setattr(trace_io, "_digest", colliding)
+        trace = build_trace(
+            {1: {0: ["a"], 1: ["b"]}},
+            clients=[
+                make_client(0, uid="uid-A", ip="1.1.1.1"),
+                make_client(1, uid="uid-B", ip="2.2.2.2"),
+            ],
+        )
+        anon = anonymize(trace)
+        assert anon.clients[0].uid != anon.clients[1].uid
+        assert anon.clients[0].ip != anon.clients[1].ip
+
+    def test_equal_identities_stay_equal_under_widening(self, monkeypatch):
+        real_digest = trace_io._digest
+        monkeypatch.setattr(
+            trace_io,
+            "_digest",
+            lambda salt, value: "0" * 16 + real_digest(salt, value)[16:],
+        )
+        trace = build_trace(
+            {1: {0: ["a"], 1: ["b"]}},
+            clients=[make_client(0, ip="9.9.9.9"), make_client(1, ip="9.9.9.9")],
+        )
+        anon = anonymize(trace)
+        assert anon.clients[0].ip == anon.clients[1].ip
+
+    def test_full_digest_collision_raises(self, monkeypatch):
+        monkeypatch.setattr(trace_io, "_digest", lambda salt, value: "f" * 64)
+        with pytest.raises(ValueError, match="collision"):
+            _collision_free_hashes("s", "uid:", ["u1", "u2"], 16)
+
+    def test_no_collision_keeps_requested_length(self):
+        out = _collision_free_hashes("s", "nick:", ["alice", "bob"], 8)
+        assert all(len(v) == 8 for v in out.values())
+        assert len(set(out.values())) == 2
+
+
+class TestGarbledInput:
+    def test_non_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "version": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_random_bytes_raise(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        path.write_bytes(b"\x00\x01\x02garbage that is neither gzip nor json")
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,128 @@
+"""Streaming analyses over a trace store must equal the in-memory engines
+exactly — same Series names, xs, and ys — on a seeded SMALL trace.
+
+This is the equivalence contract that makes the out-of-core path a drop-in:
+any divergence (ordering, tie-breaks, rng consumption, float accumulation)
+shows up here as a hard failure, not a tolerance.
+"""
+
+import pytest
+
+from repro.analysis.popularity import (
+    file_spread,
+    max_spread_fraction,
+    rank_evolution,
+    rank_replication,
+    top_files_on,
+)
+from repro.analysis.semantic import overlap_evolution
+from repro.analysis.streaming import (
+    streaming_file_spread,
+    streaming_max_spread_fraction,
+    streaming_overlap_evolution,
+    streaming_rank_evolution,
+    streaming_rank_replication,
+    streaming_top_files_on,
+)
+from repro.trace.io import trace_to_store
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, small_temporal_trace):
+    path = tmp_path_factory.mktemp("streaming") / "store"
+    with trace_to_store(small_temporal_trace, path) as opened:
+        yield opened
+
+
+def assert_series_equal(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.name == right.name
+        assert list(left.xs) == list(right.xs)
+        assert list(left.ys) == list(right.ys)
+
+
+class TestPopularity:
+    def test_rank_replication(self, small_temporal_trace, store):
+        day = small_temporal_trace.days()[1]
+        assert_series_equal(
+            [rank_replication(small_temporal_trace, day)],
+            [streaming_rank_replication(store, day)],
+        )
+
+    def test_rank_replication_truncated(self, small_temporal_trace, store):
+        day = small_temporal_trace.days()[0]
+        assert_series_equal(
+            [rank_replication(small_temporal_trace, day, max_rank=25)],
+            [streaming_rank_replication(store, day, max_rank=25)],
+        )
+
+    def test_top_files_on(self, small_temporal_trace, store):
+        for day in small_temporal_trace.days()[:3]:
+            assert top_files_on(small_temporal_trace, day, 10) == (
+                streaming_top_files_on(store, day, 10)
+            )
+
+    def test_file_spread_reference_day(self, small_temporal_trace, store):
+        day = small_temporal_trace.days()[0]
+        assert_series_equal(
+            file_spread(small_temporal_trace, reference_day=day, top_k=6),
+            streaming_file_spread(store, reference_day=day, top_k=6),
+        )
+
+    def test_file_spread_explicit_files(self, small_temporal_trace, store):
+        day = small_temporal_trace.days()[-1]
+        fids = top_files_on(small_temporal_trace, day, 4)
+        assert_series_equal(
+            file_spread(small_temporal_trace, file_ids=fids),
+            streaming_file_spread(store, file_ids=fids),
+        )
+
+    def test_file_spread_static_default_needs_reference(self, store):
+        # The static top-k selection needs whole-trace state by definition;
+        # the streaming variant refuses instead of approximating.
+        with pytest.raises(ValueError, match="file_ids or reference_day"):
+            streaming_file_spread(store)
+
+    def test_rank_evolution(self, small_temporal_trace, store):
+        day = small_temporal_trace.days()[0]
+        assert_series_equal(
+            rank_evolution(small_temporal_trace, reference_day=day, top_k=5),
+            streaming_rank_evolution(store, reference_day=day, top_k=5),
+        )
+
+    def test_max_spread_fraction(self, small_temporal_trace, store):
+        assert max_spread_fraction(small_temporal_trace) == (
+            streaming_max_spread_fraction(store)
+        )
+
+
+class TestOverlapEvolution:
+    def test_default_levels(self, small_temporal_trace, store):
+        assert_series_equal(
+            overlap_evolution(small_temporal_trace, seed=7),
+            streaming_overlap_evolution(store, seed=7),
+        )
+
+    def test_subsampled_levels(self, small_temporal_trace, store):
+        # Small cap forces the rng-backed subsampling path on every level;
+        # equality proves both variants consume the stream identically.
+        assert_series_equal(
+            overlap_evolution(small_temporal_trace, seed=3, max_pairs_per_level=5),
+            streaming_overlap_evolution(store, seed=3, max_pairs_per_level=5),
+        )
+
+    def test_explicit_levels_and_first_day(self, small_temporal_trace, store):
+        first_day = small_temporal_trace.days()[1]
+        assert_series_equal(
+            overlap_evolution(
+                small_temporal_trace, first_day=first_day, overlap_levels=[1, 2, 3]
+            ),
+            streaming_overlap_evolution(
+                store, first_day=first_day, overlap_levels=[1, 2, 3]
+            ),
+        )
+
+    def test_bad_first_day_raises(self, store):
+        with pytest.raises(ValueError, match="not in trace"):
+            streaming_overlap_evolution(store, first_day=-123)
