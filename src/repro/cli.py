@@ -38,8 +38,9 @@ _SCALES = {
     "small": Scale.SMALL,
     "default": Scale.DEFAULT,
     "large": Scale.LARGE,
+    "huge": Scale.HUGE,
 }
-_SCALE_CHOICES = ["tiny", "small", "default", "large"]
+_SCALE_CHOICES = ["tiny", "small", "default", "large", "huge"]
 
 
 def _scale(name: str) -> Scale:
@@ -249,22 +250,35 @@ def cmd_search(args: argparse.Namespace) -> int:
     obs = _observer(args)
     rows = []
     faulty = args.loss_rate > 0 or args.availability < 1 or args.evict_dead
-    for list_size in args.list_sizes:
-        with obs.span(f"search@{list_size}"):
-            result = simulate_search(
-                static,
-                SearchConfig(
-                    list_size=list_size,
-                    strategy=args.strategy,
-                    two_hop=args.two_hop,
-                    track_load=False,
-                    availability=args.availability,
-                    probe_loss_rate=args.loss_rate,
-                    evict_dead=args.evict_dead,
-                    seed=args.seed,
-                ),
-                obs=obs,
-            )
+    configs = [
+        SearchConfig(
+            list_size=list_size,
+            strategy=args.strategy,
+            two_hop=args.two_hop,
+            track_load=False,
+            availability=args.availability,
+            probe_loss_rate=args.loss_rate,
+            evict_dead=args.evict_dead,
+            seed=args.seed,
+        )
+        for list_size in args.list_sizes
+    ]
+    if args.workers > 1:
+        from repro.runtime.sharded import sharded_search
+
+        results = sharded_search(
+            static,
+            configs,
+            workers=args.workers,
+            obs=obs,
+            span_names=[f"search@{size}" for size in args.list_sizes],
+        )
+    else:
+        results = []
+        for list_size, config in zip(args.list_sizes, configs):
+            with obs.span(f"search@{list_size}"):
+                results.append(simulate_search(static, config, obs=obs))
+    for list_size, result in zip(args.list_sizes, results):
         row = (list_size, result.rates.requests, percent(result.hit_rate))
         if faulty:
             row += (result.probes_lost, result.evictions)
@@ -314,7 +328,15 @@ def _experiment_ids() -> dict:
     return ids
 
 
-EXPERIMENT_IDS = _experiment_ids()
+def __getattr__(name: str):
+    # ``EXPERIMENT_IDS`` materializes the whole experiment registry (and
+    # transitively numpy); computing it on first access keeps a bare
+    # ``import repro.cli`` — the help and store-tool paths — lean.
+    if name == "EXPERIMENT_IDS":
+        value = _experiment_ids()
+        globals()["EXPERIMENT_IDS"] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _render_experiment_list() -> str:
@@ -347,6 +369,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     except UnknownExperimentError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.workers > 1 and spec.sequential_only:
+        print(
+            f"error: experiment {spec.name!r} is sequential-only (its "
+            "engine refuses compiled/vectorized input or manages its own "
+            "subprocesses) and cannot run with --workers",
+            file=sys.stderr,
+        )
+        return 2
     obs = _observer(args)
     ctx = RunContext(seed=args.seed, scale=_scale(args.scale), obs=obs)
     with obs.span(f"experiment/{args.id}"):
@@ -375,6 +405,24 @@ def cmd_run_all(args: argparse.Namespace) -> int:
         write_metrics=args.metrics_out,
     )
 
+    if args.workers > 1:
+        return _run_all_parallel(args, runner)
+
+    report = _run_all_reporter(args)
+
+    print(
+        f"Running experiments at scale={args.scale} seed={args.seed} "
+        f"-> {args.results_dir}"
+    )
+    try:
+        outcomes = runner.run_all(args.only or None, on_outcome=report)
+    except UnknownExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _run_all_summary(outcomes)
+
+
+def _run_all_reporter(args: argparse.Namespace):
     def report(outcome) -> None:
         if outcome.skipped:
             status = "skip (manifest up to date)"
@@ -394,15 +442,10 @@ def cmd_run_all(args: argparse.Namespace) -> int:
             )
             print()
 
-    print(
-        f"Running experiments at scale={args.scale} seed={args.seed} "
-        f"-> {args.results_dir}"
-    )
-    try:
-        outcomes = runner.run_all(args.only or None, on_outcome=report)
-    except UnknownExperimentError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
+    return report
+
+
+def _run_all_summary(outcomes) -> int:
     executed = sum(1 for o in outcomes if o.ok and not o.skipped)
     skipped = sum(1 for o in outcomes if o.skipped)
     failed = [o for o in outcomes if not o.ok]
@@ -415,6 +458,65 @@ def cmd_run_all(args: argparse.Namespace) -> int:
             print(f"failed: {outcome.name}: {outcome.error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_all_parallel(args: argparse.Namespace, runner) -> int:
+    """``run-all --workers N``: one experiment per worker process.
+
+    An explicit ``--only`` selection naming a sequential-only experiment
+    is rejected (rc=2) — failing fast beats failing deep inside a
+    worker.  The default full sweep instead fans out the parallelizable
+    experiments and runs the sequential-only remainder in-process.
+    """
+    from repro.runtime import UnknownExperimentError
+    from repro.runtime.registry import get as get_spec, load_all
+    from repro.runtime.sharded import run_experiments_parallel
+
+    specs = load_all()
+    if args.only:
+        try:
+            selected = [get_spec(name) for name in args.only]
+        except UnknownExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        blocked = [spec.name for spec in selected if spec.sequential_only]
+        if blocked:
+            print(
+                "error: sequential-only experiment(s) cannot run with "
+                f"--workers: {', '.join(blocked)} (their engines refuse "
+                "compiled/vectorized input or manage their own "
+                "subprocesses); drop them from --only or drop --workers",
+                file=sys.stderr,
+            )
+            return 2
+        parallel_names = [spec.name for spec in selected]
+        sequential_names = []
+    else:
+        parallel_names = [s.name for s in specs if not s.sequential_only]
+        sequential_names = [s.name for s in specs if s.sequential_only]
+
+    report = _run_all_reporter(args)
+    print(
+        f"Running experiments at scale={args.scale} seed={args.seed} "
+        f"-> {args.results_dir} ({args.workers} workers)"
+    )
+    outcomes = run_experiments_parallel(
+        parallel_names,
+        seed=args.seed,
+        scale=_scale(args.scale),
+        results_dir=args.results_dir,
+        workers=args.workers,
+        force=args.force,
+        write_metrics=args.metrics_out,
+        on_outcome=report,
+    )
+    if sequential_names:
+        print(
+            f"  ({len(sequential_names)} sequential-only experiment(s) "
+            "run in-process)"
+        )
+        outcomes += runner.run_all(sequential_names, on_outcome=report)
+    return _run_all_summary(outcomes)
 
 
 # ----------------------------------------------------------------------
@@ -583,6 +685,47 @@ def cmd_crawl(args: argparse.Namespace) -> int:
                 print(f"error: {flag} requires --checkpoint-dir", file=sys.stderr)
                 return 2
 
+    if args.stream:
+        if not args.store:
+            print(
+                "error: --stream requires --store (streamed days exist "
+                "only in the on-disk sink)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.output:
+            print(
+                "error: --stream cannot be combined with --output "
+                "(streamed days are dropped from memory; run "
+                "`repro trace convert` on the store instead)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.workers > 1:
+        # The shard split reproduces the sequential budget window only
+        # when every browse costs exactly one budget unit and only one
+        # process owns durable side state — reject anything that breaks
+        # either premise instead of failing deep inside a worker.
+        for flag, active in (
+            ("--checkpoint-dir", bool(args.checkpoint_dir)),
+            ("--retries", args.retries > 0),
+            ("--fault-schedule", bool(args.fault_schedule)),
+            ("--loss-rate", args.loss_rate > 0),
+            ("--slow-rate", args.slow_rate > 0),
+            ("--malformed-rate", args.malformed_rate > 0),
+            ("--peer-downtime", args.peer_downtime > 0),
+            ("--server-crash-day", args.server_crash_day is not None),
+        ):
+            if active:
+                print(
+                    f"error: {flag} cannot be combined with --workers "
+                    "(sharded crawling requires a fault-free, retry-free "
+                    "budget window and a single checkpointing process)",
+                    file=sys.stderr,
+                )
+                return 2
+
     if args.resume:
         if args.fault_schedule:
             # The schedule rides inside the checkpoint; re-specifying it
@@ -680,6 +823,31 @@ def cmd_crawl(args: argparse.Namespace) -> int:
                 )
                 return 2
         obs = _observer(args)
+        if args.workers > 1:
+            from repro.runtime.sharded import ShardedRunner
+
+            print(
+                f"Crawling {args.clients} clients for {args.days} days "
+                f"({args.workers} workers)..."
+            )
+            sharded = ShardedRunner(args.workers, obs=obs).crawl(
+                NetworkConfig(
+                    workload=workload, faults=faults, fault_schedule=None
+                ),
+                CrawlerConfig(days=args.days),
+                seed=args.seed,
+                days=args.days,
+                store_dir=args.store,
+                stream=args.stream,
+            )
+            return _crawl_summary(
+                args,
+                obs,
+                sharded.trace,
+                crawler=None,
+                faults_active=False,
+                store_dir=args.store,
+            )
         network = build_network(
             NetworkConfig(
                 workload=workload, faults=faults, fault_schedule=schedule
@@ -693,6 +861,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
             CrawlerConfig(days=args.days, retry=retry),
             seed=args.seed,
             store_dir=args.store,
+            stream=args.stream,
         )
         print(f"Crawling {args.clients} clients for {args.days} days...")
 
@@ -708,19 +877,51 @@ def cmd_crawl(args: argparse.Namespace) -> int:
                 os.kill(os.getpid(), signal.SIGKILL)
 
     trace = crawler.crawl(checkpointer=checkpointer, on_day_end=on_day_end)
-    chars = general_characteristics(trace)
-    print(
-        f"Collected {chars.num_snapshots} snapshots of {chars.num_clients} "
-        f"clients ({percent(chars.free_rider_fraction)} free-riders), "
-        f"{chars.num_distinct_files} files."
+    return _crawl_summary(
+        args,
+        obs,
+        trace,
+        crawler=crawler,
+        faults_active=network.faults.active,
+        store_dir=getattr(crawler, "store_dir", None),
     )
-    if network.faults.active:
+
+
+def _crawl_summary(
+    args: argparse.Namespace,
+    obs,
+    trace,
+    crawler,
+    faults_active: bool,
+    store_dir,
+) -> int:
+    from repro.trace.io import save_trace
+    from repro.trace.stats import general_characteristics
+    from repro.util.tables import percent
+
+    if args.stream:
+        # Streamed days live only in the store; the resident trace keeps
+        # metadata and counts, so summarize those instead of the (empty)
+        # in-memory snapshot view.
+        print(
+            f"Streamed {trace.num_snapshots} snapshots of "
+            f"{len(trace.clients)} clients ({len(trace.files)} files) "
+            f"into {store_dir}"
+        )
+    else:
+        chars = general_characteristics(trace)
+        print(
+            f"Collected {chars.num_snapshots} snapshots of {chars.num_clients} "
+            f"clients ({percent(chars.free_rider_fraction)} free-riders), "
+            f"{chars.num_distinct_files} files."
+        )
+    if faults_active and crawler is not None:
         print(crawler.degradation_report(trace).render())
     if args.output:
         save_trace(trace, args.output)
         print(f"Wrote trace to {args.output}")
-    if getattr(crawler, "store_dir", None):
-        print(f"Appended {len(trace.days())} day segments to {crawler.store_dir}")
+    if store_dir and not args.stream:
+        print(f"Appended {len(trace.days())} day segments to {store_dir}")
     _emit_observability(
         args,
         obs,
@@ -775,6 +976,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probability a neighbour probe is lost (one-hop only)")
     p.add_argument("--evict-dead", action="store_true",
                    help="evict neighbours whose probes keep failing")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="simulate list sizes in N worker processes over "
+                   "shared-memory trace columns (results are identical "
+                   "for any N)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_search)
 
@@ -789,6 +994,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="print the experiment registry and exit",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="validate shard-compatibility: sequential-only experiments "
+        "are rejected (the experiment itself runs in-process)",
     )
     _add_obs_flags(p)
     # Experiments default to the paper seed, not the generic CLI seed 0
@@ -825,6 +1038,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write <name>.metrics.json next to each manifest "
         "(recorded in the manifest's metrics_file field)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes; an explicit --only "
+        "selection naming a sequential-only experiment is rejected",
     )
     p.set_defaults(func=cmd_run_all, seed=DEFAULT_SEED)
 
@@ -886,6 +1107,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", metavar="DIR",
                    help="append each completed day to an on-disk columnar "
                    "trace store at DIR (created if absent)")
+    p.add_argument("--stream", action="store_true",
+                   help="drop each day from memory once appended to "
+                   "--store (bounded RSS; the paper-scale crawl path)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard browsing across N worker processes by "
+                   "client id (results are identical for any N; "
+                   "incompatible with faults, retries and checkpoints)")
     p.add_argument("--checkpoint-dir", metavar="DIR",
                    help="write an end-of-day checkpoint here after every "
                    "simulated day")

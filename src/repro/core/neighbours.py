@@ -75,6 +75,20 @@ class NeighbourStrategy(ABC):
         except ValueError:
             return None
 
+    def members(self):
+        """The current list as an RNG-free O(1) membership view, or None.
+
+        Strategies with a materialized list (LRU, History, Popularity,
+        Fixed) return a mapping/set whose ``in`` operator answers the
+        same question as :meth:`contains` without consuming any RNG;
+        the vectorized two-hop fast path unions these views to test many
+        sharers at once.  Sampling strategies (Random), whose membership
+        is only defined against a fresh draw, return None — callers must
+        fall back to per-probe :meth:`contains` calls so the seeded draw
+        pattern is preserved.
+        """
+        return None
+
     def evict(self, peer: ClientId) -> None:
         """Forget ``peer`` (dead-neighbour detection: it stopped answering).
 
@@ -104,6 +118,9 @@ class LRUNeighbours(NeighbourStrategy):
         if peer not in self._members:
             return None
         return self._list.index(peer)
+
+    def members(self):
+        return self._members
 
     def record_upload(self, uploader: ClientId, popularity: int = 1) -> None:
         if uploader in self._members:
@@ -169,6 +186,10 @@ class _ScoredNeighbours(NeighbourStrategy):
         self._ensure_ranked()
         return self._cache_set.get(peer)
 
+    def members(self):
+        self._ensure_ranked()
+        return self._cache_set
+
     def evict(self, peer: ClientId) -> None:
         if peer in self._scores:
             del self._scores[peer]
@@ -217,6 +238,9 @@ class FixedNeighbours(NeighbourStrategy):
 
     def position(self, peer: ClientId) -> Optional[int]:
         return self._positions.get(peer)
+
+    def members(self):
+        return self._positions
 
     def record_upload(self, uploader: ClientId, popularity: int = 1) -> None:
         return

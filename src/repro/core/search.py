@@ -35,7 +35,9 @@ from repro.core.neighbours import (
     make_strategy,
 )
 from repro.core.requests import generate_requests, iter_requests_compiled
+from repro.core.vectorized import word_stream
 from repro.obs import COUNT_BOUNDS, LATENCY_BOUNDS_S, NULL_OBSERVER, Observer
+from repro.trace.compiled import CompiledTrace
 from repro.trace.model import ClientId, FileId, StaticTrace
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
@@ -271,6 +273,7 @@ class SearchSimulator:
         obs: Optional[Observer] = None,
         ctx: Optional["RunContext"] = None,
         use_compiled: bool = True,
+        vectorized: bool = True,
     ) -> None:
         if ctx is not None:
             if config is None:
@@ -284,7 +287,26 @@ class SearchSimulator:
             self._check_lists_against_trace()
         self.rng = RngStream(self.config.seed, "search")
         self.use_compiled = use_compiled
-        self._compiled = trace.compiled() if use_compiled else None
+        # The batched engine: request draws and fall-back selection come
+        # from a WordStream over this simulator's RNG (bulk words, same
+        # draws), and the two-hop fast path unions RNG-free members()
+        # views.  vectorized=False keeps the scalar reference engine;
+        # seeded results are byte-identical either way (pinned by
+        # tests/core/test_vectorized_equivalence.py).
+        self.vectorized = vectorized and use_compiled
+        self._ws = word_stream(self.rng.py) if self.vectorized else None
+        # Sharded workers hand the simulator a CompiledTrace directly
+        # (attached from shared memory); the legacy engine has no
+        # string-keyed view of one, so compiled input forces compiled mode.
+        if isinstance(trace, CompiledTrace):
+            if not use_compiled:
+                raise ValueError(
+                    "a CompiledTrace input requires the compiled engine "
+                    "(use_compiled=True)"
+                )
+            self._compiled = trace
+        else:
+            self._compiled = trace.compiled() if use_compiled else None
         self._strategies: Dict[ClientId, NeighbourStrategy] = {}
         # File keys are interned ints in compiled mode, FileId strings in
         # legacy mode; both engines treat them as opaque throughout.
@@ -306,6 +328,12 @@ class SearchSimulator:
         # checkpoint/resume cycle.
         self._run_state: Optional[_RunState] = None
 
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        ws = self.__dict__.get("_ws")
+        if ws is not None:
+            ws.attach(self.rng.py)
+
     def _check_lists_against_trace(self) -> None:
         """Reject warm-start lists referencing peers absent from the trace.
 
@@ -313,7 +341,8 @@ class SearchSimulator:
         into the simulation deflates hit rates for no modelled reason —
         exactly the kind of quiet input error that should fail fast.
         """
-        known = self.trace.caches.keys()
+        caches = getattr(self.trace, "caches", None)
+        known = caches.keys() if caches is not None else set(self.trace.client_ids)
         for peer, neighbours in self.config.initial_lists.items():
             if peer not in known:
                 raise ValueError(
@@ -457,6 +486,19 @@ class SearchSimulator:
         ):
             # Fast path (no message accounting): a sharer is reachable at
             # two hops iff it sits in some first-hop neighbour's list.
+            if self.vectorized:
+                # Batched membership: union the neighbours' RNG-free
+                # members() views once, then test every sharer against
+                # the union — the first sharer in some view is exactly
+                # the one the nested pair loop returns.  A None view
+                # (Random lists, whose membership consumes RNG draws)
+                # falls through to the reference loop.
+                union = self._member_union(first_hop)
+                if union is not None:
+                    for sharer in sharers:
+                        if sharer != peer and sharer in union:
+                            return sharer
+                    return None
             for sharer in sharers:
                 if sharer == peer:
                     continue
@@ -478,6 +520,23 @@ class SearchSimulator:
                 if self.shares(second, file_key):
                     return second
         return None
+
+    def _member_union(self, first_hop: Sequence[ClientId]) -> Optional[Set]:
+        """Union of the first-hop lists' members() views, or None.
+
+        None means at least one strategy has no RNG-free membership view
+        (Random) and the caller must keep the per-pair probe order.
+        """
+        views = []
+        for neighbour in first_hop:
+            view = self._strategy_for(neighbour).members()
+            if view is None:
+                return None
+            views.append(view)
+        union: Set = set()
+        for view in views:
+            union.update(view)
+        return union
 
     # ------------------------------------------------------------------
     # Query-lifecycle records
@@ -531,6 +590,7 @@ class SearchSimulator:
                 self._compiled,
                 request_rng,
                 weighted_by_cache=config.weighted_requests,
+                vectorized=self.vectorized,
             )
         else:
             requests = (
@@ -756,9 +816,14 @@ class SearchSimulator:
                 # Fall-back search (server or flooding) picks a source
                 # uniformly among currently online sharers.
                 started = clock() if profiled else 0.0
-                answerer = online_sharers[
-                    self.rng.py.randrange(len(online_sharers))
-                ]
+                if self._ws is not None:
+                    answerer = online_sharers[
+                        self._ws.randrange(len(online_sharers))
+                    ]
+                else:
+                    answerer = online_sharers[
+                        self.rng.py.randrange(len(online_sharers))
+                    ]
                 if profiled:
                     fallback_s = clock() - started
                     obs.record_span(
@@ -829,10 +894,16 @@ def simulate_search(
     obs: Optional[Observer] = None,
     ctx: Optional["RunContext"] = None,
     use_compiled: bool = True,
+    vectorized: bool = True,
 ) -> SimulationResult:
     """One-call helper: build a simulator and run it."""
     return SearchSimulator(
-        trace, config, obs=obs, ctx=ctx, use_compiled=use_compiled
+        trace,
+        config,
+        obs=obs,
+        ctx=ctx,
+        use_compiled=use_compiled,
+        vectorized=vectorized,
     ).run()
 
 

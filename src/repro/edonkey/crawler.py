@@ -136,6 +136,7 @@ class Crawler:
         obs: Optional[Observer] = None,
         ctx: Optional["RunContext"] = None,
         store_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        stream: bool = False,
     ) -> None:
         if ctx is not None:
             if seed is None:
@@ -169,6 +170,13 @@ class Crawler:
         self.store_dir: Optional[str] = (
             os.fspath(store_dir) if store_dir is not None else None
         )
+        # Streaming mode: each day goes straight into the store and is
+        # then dropped from the in-memory trace, so a Scale.HUGE crawl
+        # holds at most one day of snapshots resident.  File/client
+        # metadata dictionaries are kept (the store interns from them).
+        if stream and self.store_dir is None:
+            raise ValueError("stream=True requires a store_dir sink")
+        self.stream = stream
 
     # ------------------------------------------------------------------
     # Discovery
@@ -437,6 +445,8 @@ class Crawler:
                     if self.store_dir is not None:
                         with obs.span("store_append"):
                             self._append_store_day(network_day, trace)
+                        if self.stream:
+                            trace.drop_day(network_day)
                     self.network.advance_day()
                 self._next_day_offset = day_offset + 1
                 if checkpointer is not None:

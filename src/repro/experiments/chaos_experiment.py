@@ -30,6 +30,9 @@ from repro.runtime import DEFAULT_SEED, RunContext, Scale, experiment
     description="SIGKILL crawls at random days; resumed artefacts must "
     "be byte-identical",
     default_scale=Scale.TINY,
+    # Spawns and SIGKILLs its own CLI subprocesses; running it inside a
+    # worker pool would orphan those children.
+    sequential_only=True,
 )
 def run_chaos(
     scale: Scale = Scale.TINY,

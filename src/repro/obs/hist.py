@@ -85,6 +85,30 @@ class Histogram:
         self.total += value
         self.counts[bisect_left(self.bounds, value)] += 1
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (sharded-run metric merge).
+
+        Requires identical bucket ladders — merging histograms with
+        different bounds would silently mis-bucket every value.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bounds: "
+                f"{self.bounds[:3]}... vs {other.bounds[:3]}..."
+            )
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min = other.min
+            self.max = other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

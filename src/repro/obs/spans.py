@@ -255,6 +255,39 @@ class Observer:
             self.counters[key] = self.counters.get(key, 0) + float(value)
 
     # ------------------------------------------------------------------
+    # Merging (sharded runs)
+
+    def merge_from(self, other: "Observer") -> None:
+        """Fold another observer's aggregates into this one.
+
+        The sharded runner gives each worker its own Observer and folds
+        them back in a deterministic order; counters, span aggregates and
+        histograms are commutative sums, while gauges are last-write —
+        the caller's merge order decides which write wins, matching the
+        sequential run when workers are folded in submission order.
+        """
+        if not self.enabled:
+            return
+        for path, stat in other.span_stats.items():
+            mine = self._stat_for(path)
+            mine.count += stat.count
+            mine.total_s += stat.total_s
+            if stat.count:
+                if stat.min_s < mine.min_s:
+                    mine.min_s = stat.min_s
+                if stat.max_s > mine.max_s:
+                    mine.max_s = stat.max_s
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine_hist = self.histograms.get(name)
+            if mine_hist is None:
+                self.histograms[name] = Histogram.from_dict(hist.as_dict())
+            else:
+                mine_hist.merge(hist)
+
+    # ------------------------------------------------------------------
     # Reporting
 
     def report(self, run: Optional[Dict[str, object]] = None):

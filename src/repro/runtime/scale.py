@@ -6,7 +6,10 @@ Experiments come in four scales:
   every registered experiment end-to-end at this scale);
 - ``Scale.SMALL``   — a few hundred clients; used by the test suite;
 - ``Scale.DEFAULT`` — a couple thousand clients; used by the benchmarks;
-- ``Scale.LARGE``   — the stress preset.
+- ``Scale.LARGE``   — the stress preset;
+- ``Scale.HUGE``    — paper scale (≥100k clients, the order of the
+  crawled eDonkey population); only reachable through the store-backed
+  streaming crawl and the sharded runner.
 
 The preset keeps scale ratios (files per client, categories vs. sharers)
 close to the defaults so the planted clustering survives the shrink.
@@ -27,6 +30,7 @@ class Scale(enum.Enum):
     SMALL = "small"
     DEFAULT = "default"
     LARGE = "large"
+    HUGE = "huge"
 
 
 def workload_config(scale: Scale = Scale.DEFAULT) -> WorkloadConfig:
@@ -69,6 +73,16 @@ def workload_config(scale: Scale = Scale.DEFAULT) -> WorkloadConfig:
             mainstream_pool_size=10000,
             interest_model=dataclasses.replace(
                 base.interest_model, num_categories=750
+            ),
+        )
+    if scale is Scale.HUGE:
+        return dataclasses.replace(
+            base,
+            num_clients=100_000,
+            num_files=1_000_000,
+            mainstream_pool_size=50_000,
+            interest_model=dataclasses.replace(
+                base.interest_model, num_categories=15_000
             ),
         )
     raise ValueError(f"unknown scale {scale!r}")

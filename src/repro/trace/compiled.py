@@ -234,6 +234,69 @@ class CompiledTrace:
         self._csr = None
         return self
 
+    @classmethod
+    def from_shared_columns(
+        cls,
+        *,
+        file_ids: Sequence[FileId],
+        client_ids: Sequence[ClientId],
+        cache_files,
+        cache_offsets,
+        sharer_rows,
+        sharer_offsets,
+        static_counts,
+    ) -> "CompiledTrace":
+        """Adopt a full column set, inverted index included.
+
+        This is the shared-memory attach path (:mod:`repro.trace.shm`):
+        a worker process maps the exporting process's segment and hands
+        every int column in as a ``memoryview`` slice, so nothing that
+        :meth:`from_columns` would recompute per process — in particular
+        the inverted index, the expensive part — is rebuilt.  Only the
+        pointer-based Python structures that cannot live in flat memory
+        are derived here: the per-row membership ``frozenset``s and the
+        string intern dict.
+
+        The columns are trusted (they came out of :meth:`__init__` or
+        :meth:`from_columns` in the exporting process); only the cheap
+        CSR span invariants are re-checked.
+        """
+        self = cls.__new__(cls)
+        self.file_ids = (
+            file_ids if isinstance(file_ids, tuple) else tuple(file_ids)
+        )
+        self.file_index = {fid: i for i, fid in enumerate(self.file_ids)}
+        self.client_ids = (
+            client_ids if isinstance(client_ids, tuple) else tuple(client_ids)
+        )
+        self.client_row = {cid: r for r, cid in enumerate(self.client_ids)}
+        if len(self.client_row) != len(self.client_ids):
+            raise ValueError("duplicate client ids")
+        n = len(self.client_ids)
+        m = len(self.file_ids)
+        if len(cache_offsets) != n + 1:
+            raise ValueError(
+                f"offsets column has {len(cache_offsets)} entries for "
+                f"{n} clients (need n+1)"
+            )
+        if cache_offsets[0] != 0 or cache_offsets[n] != len(cache_files):
+            raise ValueError("CSR offsets do not span the files column")
+        if len(sharer_offsets) != m + 1 or len(static_counts) != m:
+            raise ValueError("inverted index columns do not match num_files")
+        if sharer_offsets[m] != len(sharer_rows):
+            raise ValueError("sharer offsets do not span the rows column")
+        self.cache_files = cache_files
+        self.cache_offsets = cache_offsets
+        self.cache_sets = tuple(
+            frozenset(cache_files[cache_offsets[r] : cache_offsets[r + 1]])
+            for r in range(n)
+        )
+        self.sharer_rows = sharer_rows
+        self.sharer_offsets = sharer_offsets
+        self.static_counts = static_counts
+        self._csr = None
+        return self
+
     # ------------------------------------------------------------------
     # Sizes
 

@@ -156,6 +156,21 @@ class Trace:
         """Convenience wrapper around :meth:`add_snapshot`."""
         self.add_snapshot(Snapshot(day, client_id, frozenset(file_ids)))
 
+    def drop_day(self, day: int) -> None:
+        """Discard a day's snapshots after they have been persisted.
+
+        The streaming crawl appends each day to an on-disk store and then
+        drops it, so resident memory is bounded by one day regardless of
+        crawl length.  ``num_snapshots`` keeps counting dropped
+        observations (it reports what was crawled, not what is resident);
+        derived caches are invalidated because the in-memory view changed.
+        """
+        if self._snapshots.pop(day, None) is None:
+            return
+        self._dirty = True
+        self._static_counts = None
+        self._day_counts.pop(day, None)
+
     # ------------------------------------------------------------------
     # Basic accessors
 

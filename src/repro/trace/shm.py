@@ -1,0 +1,394 @@
+"""Zero-copy shared-memory transport for compiled traces.
+
+The sharded runtime fans a simulation out over a process pool, and every
+worker needs the same :class:`~repro.trace.compiled.CompiledTrace`.
+Pickling it per worker would copy the CSR columns — at ``Scale.HUGE``
+that is tens of millions of ints plus a million file-id strings — once
+per process.  This module instead packs every column into a single
+``multiprocessing.shared_memory`` segment once, and hands workers a
+:class:`SharedTraceHandle`: a few counts and a segment name, a few
+hundred bytes of pickle no matter the trace size.
+
+Layout of the segment (all 8-byte columns first so every typed view is
+naturally aligned; the segment base is page-aligned):
+
+======================  ====  ===========================================
+column                  fmt   meaning
+======================  ====  ===========================================
+``cache_offsets``       q     CSR offsets, ``num_clients + 1``
+``sharer_offsets``      q     inverted-index offsets, ``num_files + 1``
+``id_offsets``          q     file-id blob offsets, ``num_files + 1``
+``client_ids``          q     client ids in row order
+``cache_files``         i     CSR file indices, ``total_replicas``
+``sharer_rows``         i     inverted-index client rows
+``static_counts``       i     per-file replica counts
+``id_blob``             B     file-id strings, UTF-8, back to back
+======================  ====  ===========================================
+
+Attaching maps the int columns as typed ``memoryview`` slices — zero
+copies, shared pages — and feeds them to
+:meth:`CompiledTrace.from_shared_columns`, which also skips the
+inverted-index rebuild.  Only the Python-object structures that cannot
+live in flat memory are materialized per worker: the file-id strings
+(decoded from the blob), the intern dict, and the per-row membership
+sets.
+
+Lifetime protocol: the exporting process owns the segment and is the
+only one that may :meth:`~SharedTraceExport.unlink` it; attaching
+processes map it *without* ``resource_tracker`` registration so a worker
+exiting does not tear the segment out from under its siblings (the
+tracker would otherwise unlink it during worker cleanup, and sibling
+workers sharing one forked tracker would race their bookkeeping).
+Workers call :meth:`AttachedTrace.close` after dropping every reference
+to the trace; the owner unlinks after the pool has joined.
+
+This module is deliberately numpy-free: the streaming store tools share
+an import chain with it, and their bounded-RSS guarantee (checked by
+``benchmarks/bench_scaling.py``) depends on plain-stdlib imports.
+"""
+
+from __future__ import annotations
+
+import secrets
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+from repro.trace.compiled import CompiledTrace
+
+_ITEM_SIZE = {"q": 8, "i": 4, "B": 1}
+
+#: Segment-name prefix — lets tests (and humans poking ``/dev/shm``)
+#: attribute leaked segments to this transport.
+SEGMENT_PREFIX = "repro_ct_"
+
+_LayoutEntry = Tuple[int, str, int]  # (byte offset, format char, item count)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without resource-tracker registration.
+
+    Register-then-unregister would leave a race: sibling pool workers
+    share one forked tracker whose per-type cache is a *set*, so two
+    workers registering the same name dedup to one entry and the second
+    unregister logs a KeyError from the tracker daemon.  Suppressing the
+    registration on the non-owning side avoids the message entirely
+    (Python 3.13's ``track=False`` parameter, available before it).
+    """
+    original = resource_tracker.register
+
+    def _skip_shared_memory(tracked_name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - other rtypes
+            original(tracked_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _layout(
+    num_clients: int, num_files: int, num_replicas: int, blob_len: int
+) -> Tuple[Dict[str, _LayoutEntry], int]:
+    """Column layout for a trace of the given shape, and the total size.
+
+    Derived independently (and identically) on the export and attach
+    sides from the four counts the handle carries, so the handle never
+    needs to serialize offsets.
+    """
+    columns = (
+        ("cache_offsets", "q", num_clients + 1),
+        ("sharer_offsets", "q", num_files + 1),
+        ("id_offsets", "q", num_files + 1),
+        ("client_ids", "q", num_clients),
+        ("cache_files", "i", num_replicas),
+        ("sharer_rows", "i", num_replicas),
+        ("static_counts", "i", num_files),
+        ("id_blob", "B", blob_len),
+    )
+    layout: Dict[str, _LayoutEntry] = {}
+    offset = 0
+    for name, fmt, count in columns:
+        layout[name] = (offset, fmt, count)
+        offset += _ITEM_SIZE[fmt] * count
+    return layout, offset
+
+
+def _column_bytes(column, fmt: str, count: int) -> bytes:
+    """Raw little-endian-native bytes of an int column.
+
+    Columns arrive either as ``array`` instances (the in-process build
+    path) or as typed ``memoryview`` slices (a trace that itself came
+    from a store segment or another shm attach); both expose the buffer
+    protocol with the right item width.  Anything else — e.g. the
+    ``tuple`` of client ids — is packed through ``array``.
+    """
+    if isinstance(column, (array, memoryview)):
+        data = bytes(column)
+    else:
+        data = array(fmt, column).tobytes()
+    expected = _ITEM_SIZE[fmt] * count
+    if len(data) != expected:
+        raise ValueError(
+            f"column packed to {len(data)} bytes, expected {expected}"
+        )
+    return data
+
+
+class SharedTraceHandle:
+    """A pickle-cheap reference to an exported compiled trace.
+
+    Carries the segment name plus the four counts that determine the
+    layout — pickling is O(1) in the trace size.  Workers call
+    :meth:`attach`; the handle itself holds no OS resources.
+    """
+
+    __slots__ = (
+        "name",
+        "num_clients",
+        "num_files",
+        "num_replicas",
+        "blob_len",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_clients: int,
+        num_files: int,
+        num_replicas: int,
+        blob_len: int,
+    ) -> None:
+        self.name = name
+        self.num_clients = num_clients
+        self.num_files = num_files
+        self.num_replicas = num_replicas
+        self.blob_len = blob_len
+
+    def __getstate__(self):
+        return (
+            self.name,
+            self.num_clients,
+            self.num_files,
+            self.num_replicas,
+            self.blob_len,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.name,
+            self.num_clients,
+            self.num_files,
+            self.num_replicas,
+            self.blob_len,
+        ) = state
+
+    def attach(self) -> "AttachedTrace":
+        """Map the segment and rebuild a :class:`CompiledTrace` over it.
+
+        The int columns are typed views straight into the shared pages;
+        the file-id strings are decoded (strings cannot be shared).  The
+        mapping bypasses ``resource_tracker`` registration because this
+        process does not own the segment — without that, the tracker
+        "helpfully" unlinks it when the first worker exits.
+        """
+        _sweep_parked()
+        shm = _attach_untracked(self.name)
+        layout, total = _layout(
+            self.num_clients, self.num_files, self.num_replicas, self.blob_len
+        )
+        if shm.size < total:
+            shm.close()
+            raise ValueError(
+                f"segment {self.name!r} is {shm.size} bytes, handle "
+                f"describes {total}"
+            )
+        buf = shm.buf
+
+        def view(name: str):
+            off, fmt, count = layout[name]
+            return buf[off : off + _ITEM_SIZE[fmt] * count].cast(fmt)
+
+        id_offsets = view("id_offsets")
+        blob_off, _, blob_len = layout["id_blob"]
+        blob = bytes(buf[blob_off : blob_off + blob_len])
+        file_ids = tuple(
+            blob[id_offsets[i] : id_offsets[i + 1]].decode("utf-8")
+            for i in range(self.num_files)
+        )
+        trace = CompiledTrace.from_shared_columns(
+            file_ids=file_ids,
+            client_ids=tuple(view("client_ids")),
+            cache_files=view("cache_files"),
+            cache_offsets=view("cache_offsets"),
+            sharer_rows=view("sharer_rows"),
+            sharer_offsets=view("sharer_offsets"),
+            static_counts=view("static_counts"),
+        )
+        return AttachedTrace(shm, trace)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedTraceHandle({self.name!r}, clients={self.num_clients}, "
+            f"files={self.num_files}, replicas={self.num_replicas})"
+        )
+
+
+#: Mappings whose unmap was requested while trace views still referenced
+#: their pages.  ``mmap.close`` refuses while exported buffers exist, and
+#: letting ``SharedMemory.__del__`` retry at an arbitrary GC moment turns
+#: that refusal into an unraisable error — so the mapping is parked here
+#: (keeping the object alive and ``__del__`` at bay) and retried whenever
+#: the transport is next used.  A parked mapping holds address space, not
+#: the segment name: the owner's unlink is never delayed by it.
+_parked_mappings: list = []
+
+
+def _sweep_parked() -> None:
+    still_parked = []
+    for shm in _parked_mappings:
+        try:
+            shm.close()
+        except BufferError:
+            still_parked.append(shm)
+    _parked_mappings[:] = still_parked
+
+
+class AttachedTrace:
+    """A worker-side mapping: the trace plus the segment keeping it alive.
+
+    The compiled trace's columns are views into the segment, so the
+    mapping must outlive the trace.  Hold this object for as long as the
+    trace is in use, then drop every trace reference and :meth:`close`.
+    Usable as a context manager.
+    """
+
+    __slots__ = ("_shm", "trace")
+
+    def __init__(self, shm: shared_memory.SharedMemory, trace: CompiledTrace):
+        self._shm = shm
+        self.trace = trace
+
+    def close(self) -> None:
+        """Release the mapping (never unlinks — the exporter owns that).
+
+        If trace views are still referenced somewhere — the usual case
+        when the caller's trace variable is still in scope — the unmap
+        cannot complete yet; the mapping is parked and retried on later
+        transport activity.  Never raises either way.
+        """
+        self.trace = None
+        try:
+            self._shm.close()
+        except BufferError:  # views still alive somewhere
+            _parked_mappings.append(self._shm)
+        _sweep_parked()
+
+    def __enter__(self) -> CompiledTrace:
+        return self.trace
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SharedTraceExport:
+    """Owner side of a shared trace: the segment and its handle.
+
+    Created by :func:`export_compiled`.  The exporting process keeps
+    this object alive while workers run, then calls :meth:`close` (or
+    uses it as a context manager) to unlink the name and release the
+    mapping.  ``/dev/shm`` holds the pages until *both* the name is
+    unlinked and every process has unmapped, so close-after-join leaks
+    nothing.
+    """
+
+    __slots__ = ("_shm", "handle", "_unlinked")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, handle: SharedTraceHandle
+    ):
+        self._shm = shm
+        self.handle = handle
+        self._unlinked = False
+
+    def unlink(self) -> None:
+        if not self._unlinked:
+            self._unlinked = True
+            # Attaches never registered with the resource tracker, so
+            # the owner's registration (made at create time) is intact
+            # and ``unlink``'s unconditional unregister balances it.
+            self._shm.unlink()
+
+    def close(self) -> None:
+        self.unlink()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - owner kept views
+            pass
+
+    def __enter__(self) -> "SharedTraceExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def export_compiled(compiled: CompiledTrace) -> SharedTraceExport:
+    """Pack ``compiled``'s columns into one shared-memory segment.
+
+    Every column — CSR caches, inverted index, replica counts, client
+    ids, and the UTF-8 file-id table — is written once; workers attach
+    through the returned export's :attr:`~SharedTraceExport.handle`.
+    """
+    _sweep_parked()
+    encoded = [fid.encode("utf-8") for fid in compiled.file_ids]
+    id_offsets = array("q", [0])
+    acc = 0
+    for chunk in encoded:
+        acc += len(chunk)
+        id_offsets.append(acc)
+    blob = b"".join(encoded)
+
+    n = compiled.num_clients
+    m = compiled.num_files
+    r = compiled.total_replicas
+    layout, total = _layout(n, m, r, len(blob))
+
+    shm = None
+    for _ in range(16):
+        name = SEGMENT_PREFIX + secrets.token_hex(8)
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, total)
+            )
+            break
+        except FileExistsError:  # pragma: no cover - 64-bit collision
+            continue
+    if shm is None:  # pragma: no cover - 16 collisions in a row
+        raise RuntimeError("could not allocate a unique segment name")
+
+    columns = {
+        "cache_offsets": compiled.cache_offsets,
+        "sharer_offsets": compiled.sharer_offsets,
+        "id_offsets": id_offsets,
+        "client_ids": compiled.client_ids,
+        "cache_files": compiled.cache_files,
+        "sharer_rows": compiled.sharer_rows,
+        "static_counts": compiled.static_counts,
+    }
+    buf = shm.buf
+    try:
+        for colname, column in columns.items():
+            off, fmt, count = layout[colname]
+            data = _column_bytes(column, fmt, count)
+            buf[off : off + len(data)] = data
+        off, _, count = layout["id_blob"]
+        buf[off : off + count] = blob
+    except Exception:
+        shm.unlink()
+        shm.close()
+        raise
+
+    handle = SharedTraceHandle(shm.name, n, m, r, len(blob))
+    return SharedTraceExport(shm, handle)

@@ -11,7 +11,23 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-import numpy as np
+
+class _LazyNumpy:
+    """Defer the numpy import to first use (annotations are strings here).
+
+    ``repro.util`` is imported by store-only tools and the CLI's help
+    paths, which never evaluate a CDF; rebinding the module-global ``np``
+    on first attribute access keeps their baseline RSS numpy-free.
+    """
+
+    def __getattr__(self, name):
+        import numpy
+
+        globals()["np"] = numpy
+        return getattr(numpy, name)
+
+
+np = _LazyNumpy()
 
 
 def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:

@@ -14,8 +14,6 @@ import hashlib
 import random
 from typing import Iterator, Optional, Sequence, Tuple, TypeVar
 
-import numpy as np
-
 T = TypeVar("T")
 
 _SEED_MASK = (1 << 63) - 1
@@ -56,14 +54,31 @@ class RngStream:
         churn_rng = rng.child("churn")
     """
 
-    __slots__ = ("seed", "label", "py", "np")
+    __slots__ = ("seed", "label", "py", "_np")
 
     def __init__(self, seed: int, label: str = "root") -> None:
         self.seed = seed
         self.label = label
-        derived = derive_seed(seed, label)
-        self.py = random.Random(derived)
-        self.np = np.random.default_rng(derived)
+        self.py = random.Random(derive_seed(seed, label))
+        self._np = None
+
+    @property
+    def np(self):
+        """The numpy ``Generator``, created on first use.
+
+        Lazy so that processes which only ever draw from ``.py`` — the
+        store tools, the CLI's help paths — never import numpy; the
+        generator is seeded from the same ``(seed, label)`` pair either
+        way, so laziness is invisible to draw sequences.
+        """
+        gen = self._np
+        if gen is None:
+            import numpy
+
+            self._np = gen = numpy.random.default_rng(
+                derive_seed(self.seed, self.label)
+            )
+        return gen
 
     def child(self, sub_label: str) -> "RngStream":
         """Spawn an independent substream named ``label/sub_label``."""
@@ -97,15 +112,17 @@ class RngStream:
                 f"not an RngStream state snapshot (expected a 5-tuple "
                 f"tagged {_STATE_TAG!r})"
             )
+        import numpy
+
         _, seed, label, py_state, np_state = state
         self.seed = seed
         self.label = label
         py = random.Random()
         py.setstate(py_state)
         self.py = py
-        gen = np.random.default_rng()
+        gen = numpy.random.default_rng()
         gen.bit_generator.state = copy.deepcopy(np_state)
-        self.np = gen
+        self._np = gen
 
     # ``__slots__`` classes need explicit pickle hooks; routing them
     # through getstate/setstate makes pickling a stream equivalent to

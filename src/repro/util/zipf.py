@@ -13,9 +13,20 @@ import bisect
 import math
 from typing import Sequence, Tuple
 
-import numpy as np
-
 from repro.util.validation import check_positive
+
+
+class _LazyNumpy:
+    """Defer the numpy import to first use (see ``repro.util.cdf``)."""
+
+    def __getattr__(self, name):
+        import numpy
+
+        globals()["np"] = numpy
+        return getattr(numpy, name)
+
+
+np = _LazyNumpy()
 
 
 def zipf_weights(n: int, alpha: float, flat_head: int = 0) -> np.ndarray:

@@ -21,13 +21,29 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-import numpy as np
-
 from repro.trace.model import ClientMeta, FileMeta, StaticTrace, Trace
 from repro.util.rng import RngStream
 from repro.util.zipf import ZipfSampler
 from repro.workload.config import WorkloadConfig
 from repro.workload.geo import CountryModel, IpAllocator, default_country_model
+
+
+class _LazyNumpy:
+    """Defer the numpy import to first use (annotations are strings here).
+
+    ``repro.workload`` sits on the CLI's help/import path (via
+    ``repro.runtime.scale``); rebinding the module-global ``np`` on first
+    attribute access keeps that baseline RSS numpy-free.
+    """
+
+    def __getattr__(self, name):
+        import numpy
+
+        globals()["np"] = numpy
+        return getattr(numpy, name)
+
+
+np = _LazyNumpy()
 from repro.workload.interests import InterestUniverse, poisson_draw
 
 _NICKNAME_POOL = [

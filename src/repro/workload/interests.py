@@ -25,11 +25,27 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.util.rng import RngStream, stable_choice
 from repro.util.validation import check_fraction, check_positive
 from repro.util.zipf import zipf_weights
+
+
+class _LazyNumpy:
+    """Defer the numpy import to first use (annotations are strings here).
+
+    ``repro.workload`` sits on the CLI's help/import path (via
+    ``repro.runtime.scale``); rebinding the module-global ``np`` on first
+    attribute access keeps that baseline RSS numpy-free.
+    """
+
+    def __getattr__(self, name):
+        import numpy
+
+        globals()["np"] = numpy
+        return getattr(numpy, name)
+
+
+np = _LazyNumpy()
 
 
 @dataclass(frozen=True)

@@ -219,12 +219,16 @@ class TestMembershipProbeCost:
 
         monkeypatch.setattr(cls, "ordered", counting_ordered)
         monkeypatch.setattr(cls, "contains", counting_contains)
+        # The scalar engine probes per (sharer, neighbour) pair; the
+        # vectorized engine unions members() views instead, so this
+        # pins the scalar probe pattern specifically.
         simulate_search(
             small_static_trace,
             SearchConfig(
                 list_size=5, strategy=name, two_hop=True,
                 track_load=False, seed=1,
             ),
+            vectorized=False,
         )
         assert counts["contains"] > 0
         # One enumeration per issued query (plus warm-up); membership

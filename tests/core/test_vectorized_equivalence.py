@@ -1,0 +1,227 @@
+"""Seeded equivalence between the vectorized and scalar engines.
+
+PR 8's core-layer tentpole: the batched draw kernels
+(:mod:`repro.core.vectorized`) and the two-hop member-union fast path
+must not change a single seeded draw.  These tests pin byte-identity at
+three levels — the word/draw kernels against ``random.Random`` itself,
+the request streams, and the full search simulator (all strategies,
+two-hop, availability, probe loss) — plus mid-stream pickling, which is
+what a checkpoint does to a live ``WordStream``.
+"""
+
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.requests import generate_requests, iter_requests_compiled
+from repro.core.search import SearchConfig, simulate_search
+from repro.core.vectorized import WordStream
+from repro.util.rng import RngStream
+
+
+class TestWordStreamKernels:
+    """Draw-for-draw identity of the kernels against random.Random."""
+
+    def test_randrange_matches(self):
+        mirror = random.Random(11)
+        reference = random.Random(11)
+        ws = WordStream(mirror, chunk=64)
+        for n in list(range(1, 40)) + [997, 2**16 - 1, 2**16, 10**6]:
+            for _ in range(20):
+                assert ws.randrange(n) == reference.randrange(n)
+
+    def test_shuffle_matches(self):
+        mirror = random.Random(12)
+        reference = random.Random(12)
+        ws = WordStream(mirror, chunk=64)
+        for size in (1, 2, 3, 17, 255, 256, 257, 1000):
+            ours = list(range(size))
+            theirs = list(range(size))
+            ws.shuffle(ours)
+            reference.shuffle(theirs)
+            assert ours == theirs
+
+    def test_fixed_batch_matches_and_rewinds(self):
+        mirror = random.Random(13)
+        reference = random.Random(13)
+        meta = random.Random(99)
+        ws = WordStream(mirror, chunk=128)
+        for _ in range(300):
+            n = meta.randrange(1, 5000)
+            draws, marks = ws.fixed_batch(n, meta.randrange(1, 80))
+            assert len(draws) >= 1
+            keep = meta.randrange(1, len(draws) + 1)
+            for value in draws[:keep]:
+                assert value == reference.randrange(n)
+            if keep < len(draws):
+                # Abandoned draws must be invisible: rewinding and
+                # re-deriving under any modulus continues the reference
+                # sequence exactly.
+                ws.rewind_to(marks[keep - 1])
+
+    def test_countdown_batch_matches(self):
+        mirror = random.Random(14)
+        reference = random.Random(14)
+        meta = random.Random(98)
+        ws = WordStream(mirror, chunk=512)
+        for _ in range(150):
+            start = meta.randrange(2, 90000)
+            count = meta.randrange(1, min(start, 2000))
+            draws, _marks = ws.countdown_batch(start, count)
+            assert 1 <= len(draws) <= count
+            modulus = start
+            for value in draws:
+                assert value == reference.randrange(modulus)
+                modulus -= 1
+
+    def test_pickle_mid_chunk_resumes_word_sequence(self):
+        mirror = random.Random(15)
+        reference = random.Random(15)
+        ws = WordStream(mirror, chunk=64)
+        for _ in range(37):
+            assert ws.randrange(1000) == reference.randrange(1000)
+        clone = pickle.loads(pickle.dumps(ws))
+        clone.attach(mirror)
+        for _ in range(200):
+            assert clone.randrange(1000) == reference.randrange(1000)
+
+    def test_wrapped_random_continues_after_stream_drops(self):
+        # The mirror advances the wrapped Random past every word it
+        # takes, so dropping the stream leaves the Random on the one
+        # true sequence (just past the unconsumed tail of the chunk).
+        mirror = random.Random(16)
+        ws = WordStream(mirror, chunk=64)
+        ws.randrange(1000)
+        expected = random.Random(16)
+        for _ in range(64):
+            expected.getrandbits(32)
+        assert mirror.getrandbits(32) == expected.getrandbits(32)
+
+
+class TestRequestStreamEquivalence:
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_streams_byte_identical(self, small_static_trace, weighted):
+        vectorized = list(
+            generate_requests(
+                small_static_trace,
+                RngStream(3, "req"),
+                weighted_by_cache=weighted,
+                vectorized=True,
+            )
+        )
+        scalar = list(
+            generate_requests(
+                small_static_trace,
+                RngStream(3, "req"),
+                weighted_by_cache=weighted,
+                vectorized=False,
+            )
+        )
+        legacy = list(
+            generate_requests(
+                small_static_trace,
+                RngStream(3, "req"),
+                weighted_by_cache=weighted,
+                use_compiled=False,
+            )
+        )
+        assert vectorized == scalar == legacy
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_pickled_mid_stream_resumes_exactly(
+        self, small_static_trace, weighted
+    ):
+        compiled = small_static_trace.compiled()
+
+        def stream():
+            return iter_requests_compiled(
+                compiled,
+                RngStream(7, "req"),
+                weighted_by_cache=weighted,
+                vectorized=True,
+            )
+
+        reference = list(stream())
+        for cut in (1, 17, len(reference) // 2, len(reference) - 1):
+            interrupted = stream()
+            head = [next(interrupted) for _ in range(cut)]
+            resumed = pickle.loads(pickle.dumps(interrupted))
+            tail = list(resumed)
+            assert head + tail == reference, f"diverged after cut={cut}"
+
+
+def _fingerprint(result):
+    return (
+        result.rates,
+        result.rare_rates,
+        result.unresolvable,
+        result.probes_lost,
+        result.evictions,
+        result.exchanges,
+    )
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize(
+        "strategy", ["lru", "history", "random", "popularity"]
+    )
+    @pytest.mark.parametrize("two_hop", [False, True])
+    def test_all_strategies(self, small_static_trace, strategy, two_hop):
+        config = SearchConfig(
+            list_size=10, strategy=strategy, two_hop=two_hop, seed=5
+        )
+        vectorized = simulate_search(
+            small_static_trace, config, vectorized=True
+        )
+        scalar = simulate_search(
+            small_static_trace, config, vectorized=False
+        )
+        legacy = simulate_search(
+            small_static_trace, config, use_compiled=False
+        )
+        assert _fingerprint(vectorized) == _fingerprint(scalar)
+        assert _fingerprint(vectorized) == _fingerprint(legacy)
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_availability_loss_and_load(self, small_static_trace, weighted):
+        config = SearchConfig(
+            list_size=10,
+            availability=0.7,
+            probe_loss_rate=0.1,
+            weighted_requests=weighted,
+            track_load=True,
+            seed=5,
+        )
+        vectorized = simulate_search(
+            small_static_trace, config, vectorized=True
+        )
+        scalar = simulate_search(
+            small_static_trace, config, vectorized=False
+        )
+        assert _fingerprint(vectorized) == _fingerprint(scalar)
+        assert vectorized.load.messages == scalar.load.messages
+
+
+def test_import_does_not_pull_numpy():
+    """The kernels must not tax processes that never draw (satellite 1).
+
+    Importing the module — and building a search simulator with
+    ``vectorized=False`` — must leave numpy unimported, mirroring the
+    ``_get_sparse()`` contract in the trace layer.
+    """
+    script = (
+        "import sys\n"
+        "import repro.core.vectorized\n"
+        "import repro.core.requests\n"
+        "import repro.core.search\n"
+        "assert 'numpy' not in sys.modules, 'numpy imported eagerly'\n"
+    )
+    subprocess.run(
+        [sys.executable, "-c", script],
+        check=True,
+        env={"PYTHONPATH": "src"},
+        cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+    )

@@ -1,0 +1,200 @@
+"""Worker-count invariance of the sharded runner (PR 8, runtime layer).
+
+The contract under test is the strongest one a parallel engine can make:
+for a seeded run, ``--workers N`` is *unobservable* in every artefact —
+trace bytes, store segments, stdout, metrics counters/gauges/histogram
+shapes — for any N, because shard substreams derive from the run seed
+(never the worker count) and the coordinator merges in a deterministic
+order.  Wall-clock spans and latency histograms are the only sanctioned
+differences.
+
+Also covered: the shared-memory segments backing the fan-out must all be
+unlinked once the pool exits (satellite 3's leak check), and the CLI
+must refuse worker pools for configurations that are inherently
+sequential (checkpointing crawls, retry budgets, fault schedules,
+sequential-only experiments) with exit code 2.
+"""
+
+import filecmp
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.trace.shm import SEGMENT_PREFIX
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SHM_DIR = Path("/dev/shm")
+
+
+def _our_segments():
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-tmpfs platforms
+        return set()
+    return {p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}*")}
+
+
+def _cli(*argv, check=True):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": "src"},
+    )
+    if check and result.returncode != 0:
+        raise AssertionError(
+            f"CLI {' '.join(argv)} failed rc={result.returncode}:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return result
+
+
+def _assert_metrics_equivalent(baseline_path, candidate_path):
+    """Counters, gauges and histogram shapes must match exactly; only
+    wall-clock artefacts (spans, latency histograms) may differ."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    candidate = json.loads(Path(candidate_path).read_text())
+    assert candidate["counters"] == baseline["counters"]
+    assert candidate["gauges"] == baseline["gauges"]
+    assert set(candidate["histograms"]) == set(baseline["histograms"])
+    for name, base_hist in baseline["histograms"].items():
+        cand_hist = candidate["histograms"][name]
+        if "latency" in name:
+            # Bucketing of wall-clock samples is machine-dependent;
+            # the sample *count* is not.
+            assert cand_hist["count"] == base_hist["count"], name
+        else:
+            assert cand_hist == base_hist, name
+
+
+class TestSearchInvariance:
+    def test_worker_count_unobservable(self, tmp_path):
+        """One seeded SMALL search, workers 1/2/4: identical stdout and
+        metrics, and no shared-memory segment survives the pool."""
+        before = _our_segments()
+        outputs = {}
+        for workers in (1, 2, 4):
+            metrics = tmp_path / f"metrics-{workers}.json"
+            result = _cli(
+                "search", "--seed", "7", "--scale", "small",
+                "--list-sizes", "5", "10",
+                "--workers", str(workers),
+                "--metrics-out", str(metrics),
+            )
+            # The metrics path is the one worker-dependent line.
+            outputs[workers] = "\n".join(
+                line
+                for line in result.stdout.splitlines()
+                if str(metrics) not in line
+            )
+        assert outputs[2] == outputs[1]
+        assert outputs[4] == outputs[1]
+        _assert_metrics_equivalent(
+            tmp_path / "metrics-1.json", tmp_path / "metrics-2.json"
+        )
+        _assert_metrics_equivalent(
+            tmp_path / "metrics-1.json", tmp_path / "metrics-4.json"
+        )
+        assert _our_segments() == before, "leaked /dev/shm segments"
+
+
+class TestCrawlInvariance:
+    def test_trace_bytes_and_metrics_identical(self, tmp_path):
+        """One seeded crawl, workers 1/2/4: byte-identical trace files
+        and exactly equal counters/gauges."""
+        traces = {}
+        for workers in (1, 2, 4):
+            trace = tmp_path / f"trace-{workers}.json"
+            metrics = tmp_path / f"metrics-{workers}.json"
+            _cli(
+                "crawl", "--seed", "7", "--clients", "120", "--days", "4",
+                "--workers", str(workers),
+                "--output", str(trace), "--metrics-out", str(metrics),
+            )
+            traces[workers] = trace
+        assert filecmp.cmp(traces[1], traces[2], shallow=False)
+        assert filecmp.cmp(traces[1], traces[4], shallow=False)
+        _assert_metrics_equivalent(
+            tmp_path / "metrics-1.json", tmp_path / "metrics-2.json"
+        )
+        _assert_metrics_equivalent(
+            tmp_path / "metrics-1.json", tmp_path / "metrics-4.json"
+        )
+
+    def test_streamed_store_identical(self, tmp_path):
+        """Sharded + streamed crawls land the same store segments as a
+        sequential in-memory crawl."""
+        stores = {}
+        for label, extra in (
+            ("seq", []),
+            ("stream", ["--stream"]),
+            ("sharded", ["--stream", "--workers", "2"]),
+        ):
+            store = tmp_path / f"store-{label}"
+            _cli(
+                "crawl", "--seed", "11", "--clients", "80", "--days", "3",
+                "--store", str(store), *extra,
+            )
+            stores[label] = store
+        for label in ("stream", "sharded"):
+            comparison = filecmp.dircmp(stores["seq"], stores[label])
+            assert not comparison.left_only and not comparison.right_only
+            mismatch = [
+                name
+                for name in comparison.common_files
+                if not filecmp.cmp(
+                    stores["seq"] / name, stores[label] / name, shallow=False
+                )
+            ]
+            assert not mismatch, f"{label}: segments differ: {mismatch}"
+
+
+class TestSequentialOnlyGuards:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--retries", "1"),
+            ("--checkpoint-dir", "ckpt"),
+            ("--loss-rate", "0.1"),
+        ],
+        ids=["retries", "checkpoint", "faults"],
+    )
+    def test_crawl_rejects_workers(self, flags, tmp_path):
+        flags = tuple(
+            str(tmp_path / value) if prev == "--checkpoint-dir" else value
+            for prev, value in zip(("",) + flags, flags)
+        )
+        result = _cli(
+            "crawl", "--clients", "40", "--days", "2",
+            "--workers", "2", *flags, check=False,
+        )
+        assert result.returncode == 2
+        assert "sharded crawling requires" in result.stderr
+
+    def test_stream_requires_store(self):
+        result = _cli(
+            "crawl", "--clients", "40", "--days", "2", "--stream",
+            check=False,
+        )
+        assert result.returncode == 2
+        assert "--store" in result.stderr
+
+    def test_sequential_only_experiment_named(self):
+        result = _cli(
+            "experiment", "extrapolation", "--scale", "tiny",
+            "--workers", "2", check=False,
+        )
+        assert result.returncode == 2
+        assert "extrapolation" in result.stderr
+        assert "sequential-only" in result.stderr
+
+    def test_run_all_names_sequential_only(self, tmp_path):
+        result = _cli(
+            "run-all", "--scale", "tiny", "--only", "chaos",
+            "--workers", "2", "--results-dir", str(tmp_path),
+            check=False,
+        )
+        assert result.returncode == 2
+        assert "chaos" in result.stderr

@@ -1,0 +1,197 @@
+"""Shared-memory transport for compiled traces (PR 8, trace layer).
+
+The sharded runner's contract with :mod:`repro.trace.shm` is threefold:
+a trace attached in another process must be *indistinguishable* from the
+original (same columns, same seeded draws), the handle must stay
+pickle-cheap regardless of trace size, and the segment lifetime must be
+owner-controlled — a worker exiting (the resource tracker's moment to
+"help") must not unlink the segment, and the owner's close must leave
+``/dev/shm`` clean.
+"""
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.requests import iter_requests_compiled
+from repro.trace.shm import (
+    SEGMENT_PREFIX,
+    SharedTraceHandle,
+    export_compiled,
+)
+from repro.util.rng import RngStream
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SHM_DIR = Path("/dev/shm")
+
+
+def _our_segments():
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-tmpfs platforms
+        return set()
+    return {p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}*")}
+
+
+class TestRoundTrip:
+    def test_columns_and_queries_identical(self, small_static_trace):
+        compiled = small_static_trace.compiled()
+        with export_compiled(compiled) as export:
+            attached = export.handle.attach()
+            clone = attached.trace
+            assert clone.file_ids == compiled.file_ids
+            assert clone.client_ids == compiled.client_ids
+            assert list(clone.cache_offsets) == list(compiled.cache_offsets)
+            assert list(clone.cache_files) == list(compiled.cache_files)
+            assert list(clone.sharer_offsets) == list(compiled.sharer_offsets)
+            assert list(clone.sharer_rows) == list(compiled.sharer_rows)
+            assert list(clone.static_counts) == list(compiled.static_counts)
+            assert clone.cache_sets == compiled.cache_sets
+            assert clone.replica_counts() == compiled.replica_counts()
+            assert clone.pair_overlaps() == compiled.pair_overlaps()
+            del clone
+            attached.close()
+
+    def test_seeded_draws_identical(self, small_static_trace):
+        """The request stream is the engine's hottest trace consumer; a
+        byte-identical stream over the attached columns is the real
+        round-trip criterion."""
+        compiled = small_static_trace.compiled()
+        original = list(
+            iter_requests_compiled(compiled, RngStream(3, "shm-test"))
+        )
+        with export_compiled(compiled) as export:
+            with export.handle.attach() as clone:
+                replayed = list(
+                    iter_requests_compiled(clone, RngStream(3, "shm-test"))
+                )
+        assert replayed == original
+
+    def test_reexport_of_attached_trace(self, small_static_trace):
+        """A trace whose columns are themselves memoryviews (one attach
+        deep) must export again — the coordinator may re-share a trace
+        it got from a store segment."""
+        compiled = small_static_trace.compiled()
+        with export_compiled(compiled) as first:
+            with first.handle.attach() as once:
+                with export_compiled(once) as second:
+                    with second.handle.attach() as twice:
+                        assert twice.file_ids == compiled.file_ids
+                        assert list(twice.cache_files) == list(
+                            compiled.cache_files
+                        )
+
+
+class TestHandle:
+    def test_pickle_is_cheap(self, small_static_trace):
+        compiled = small_static_trace.compiled()
+        with export_compiled(compiled) as export:
+            payload = pickle.dumps(export.handle)
+            # The whole point: handle size is independent of trace size.
+            assert len(payload) < 512
+            clone = pickle.loads(payload)
+            with clone.attach() as trace:
+                assert trace.num_clients == compiled.num_clients
+
+    def test_attach_in_fresh_process(self, small_static_trace):
+        """A real subprocess (fresh interpreter, handle via pickle over
+        stdin) sees the same columns."""
+        compiled = small_static_trace.compiled()
+        script = (
+            "import pickle, sys\n"
+            "handle = pickle.load(sys.stdin.buffer)\n"
+            "with handle.attach() as trace:\n"
+            "    print(trace.num_clients, trace.num_files,\n"
+            "          sum(trace.cache_files), trace.file_ids[0])\n"
+        )
+        with export_compiled(compiled) as export:
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                input=pickle.dumps(export.handle),
+                capture_output=True,
+                check=True,
+                cwd=str(REPO_ROOT),
+                env={"PYTHONPATH": "src"},
+            )
+        fields = result.stdout.decode().split()
+        assert fields == [
+            str(compiled.num_clients),
+            str(compiled.num_files),
+            str(sum(compiled.cache_files)),
+            compiled.file_ids[0],
+        ]
+
+    def test_worker_exit_does_not_unlink(self, small_static_trace):
+        """The resource-tracker unregister: after an attaching process
+        exits (cleanly closing its mapping), the owner and later workers
+        must still find the segment."""
+        compiled = small_static_trace.compiled()
+        script = (
+            "import pickle, sys\n"
+            "handle = pickle.load(sys.stdin.buffer)\n"
+            "attached = handle.attach()\n"
+            "attached.close()\n"
+        )
+        with export_compiled(compiled) as export:
+            payload = pickle.dumps(export.handle)
+            for _ in range(2):
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    input=payload,
+                    check=True,
+                    cwd=str(REPO_ROOT),
+                    env={"PYTHONPATH": "src"},
+                )
+            # Still attachable after two worker lifetimes.
+            with export.handle.attach() as trace:
+                assert trace.num_clients == compiled.num_clients
+
+    def test_attach_after_unlink_fails(self, small_static_trace):
+        compiled = small_static_trace.compiled()
+        export = export_compiled(compiled)
+        handle = export.handle
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_shape_mismatch_rejected(self, small_static_trace):
+        """A handle lying about the shape must fail loudly, not read
+        garbage."""
+        compiled = small_static_trace.compiled()
+        with export_compiled(compiled) as export:
+            h = export.handle
+            liar = SharedTraceHandle(
+                h.name,
+                h.num_clients + 100,
+                h.num_files + 100,
+                h.num_replicas + 100,
+                h.blob_len + 100,
+            )
+            with pytest.raises(ValueError, match="bytes"):
+                liar.attach()
+
+
+class TestLifecycle:
+    def test_no_leaked_segments(self, small_static_trace):
+        """A full export/attach/close cycle leaves ``/dev/shm`` exactly
+        as it found it (satellite 3's leak check, at module grain)."""
+        before = _our_segments()
+        compiled = small_static_trace.compiled()
+        export = export_compiled(compiled)
+        attached = export.handle.attach()
+        name = export.handle.name
+        assert name in _our_segments() - before
+        attached.close()
+        export.close()
+        assert _our_segments() == before
+
+    def test_empty_trace_round_trips(self):
+        from repro.trace.model import StaticTrace
+
+        compiled = StaticTrace(caches={}).compiled()
+        with export_compiled(compiled) as export:
+            with export.handle.attach() as clone:
+                assert clone.num_clients == 0
+                assert clone.num_files == 0
+                assert clone.replica_counts() == {}
