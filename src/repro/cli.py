@@ -83,6 +83,23 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="write a Chrome trace_event JSON of the run to PATH "
         "(load it in chrome://tracing or Perfetto)",
     )
+    _add_telemetry_flags(parser)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="append live repro.telemetry/1 JSONL snapshots to PATH while "
+        "the run executes (crash-persistent; watch with `repro tail`)",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="seconds between telemetry snapshots (default: 1.0)",
+    )
 
 
 def _observer(args: argparse.Namespace):
@@ -95,9 +112,61 @@ def _observer(args: argparse.Namespace):
     from repro.obs import NULL_OBSERVER, Observer, TraceRecorder
 
     trace_out = getattr(args, "trace_out", None)
-    if args.profile or args.metrics_out or trace_out:
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if args.profile or args.metrics_out or trace_out or telemetry_out:
         return Observer(tracer=TraceRecorder() if trace_out else None)
     return NULL_OBSERVER
+
+
+def _check_out_parents(args: argparse.Namespace) -> Optional[str]:
+    """An error message when an output flag's parent directory is missing.
+
+    Checked up front so a long run cannot fail at write time, hours in,
+    over a typo'd path.  (``run-all``'s ``--metrics-out`` is a boolean
+    and is skipped by the ``isinstance`` guard.)
+    """
+    for attr, flag in (
+        ("metrics_out", "--metrics-out"),
+        ("trace_out", "--trace-out"),
+        ("telemetry_out", "--telemetry-out"),
+    ):
+        path = getattr(args, attr, None)
+        if not isinstance(path, str) or not path:
+            continue
+        parent = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(parent):
+            return (
+                f"error: parent directory of {flag} does not exist: {parent}"
+            )
+    return None
+
+
+def _telemetry_spec(args: argparse.Namespace):
+    """A TelemetrySpec when ``--telemetry-out`` is set, else None."""
+    path = getattr(args, "telemetry_out", None)
+    if not path:
+        return None
+    from repro.obs.telemetry import TelemetrySpec
+
+    return TelemetrySpec(
+        path=path, interval_s=getattr(args, "telemetry_interval", 1.0)
+    )
+
+
+def _start_telemetry(args: argparse.Namespace, obs, run_info: dict):
+    """Start the coordinator's flight recorder (source ``main``), or None."""
+    spec = _telemetry_spec(args)
+    if spec is None:
+        return None
+    from repro.obs.telemetry import FlightRecorder
+
+    return FlightRecorder(
+        spec.path,
+        obs,
+        interval_s=spec.interval_s,
+        source="main",
+        run=run_info,
+    ).start()
 
 
 def _emit_observability(args: argparse.Namespace, obs, run_info: dict) -> None:
@@ -123,6 +192,8 @@ def _emit_observability(args: argparse.Namespace, obs, run_info: dict) -> None:
             f"Wrote Chrome trace ({len(obs.tracer)} events) to "
             f"{args.trace_out}{dropped}"
         )
+    if getattr(args, "telemetry_out", None):
+        print(f"Wrote telemetry to {args.telemetry_out}")
 
 
 # ----------------------------------------------------------------------
@@ -133,9 +204,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
     from repro.trace.io import save_trace
     from repro.workload.generator import SyntheticWorkloadGenerator
 
+    from repro.obs.log import get_log
+
     config = workload_config(_scale(args.scale))
     generator = SyntheticWorkloadGenerator(config=config, seed=args.seed)
-    print(
+    get_log().info(
         f"Generating {args.scale} trace "
         f"({config.num_clients} clients, {config.num_files} files, "
         f"{config.days} days)..."
@@ -236,6 +309,10 @@ def cmd_search(args: argparse.Namespace) -> int:
     from repro.util.tables import format_table, percent
     from repro.workload.generator import SyntheticWorkloadGenerator
 
+    problem = _check_out_parents(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     if args.trace:
         static = filter_duplicates(load_trace(args.trace)).to_static()
     else:
@@ -263,21 +340,35 @@ def cmd_search(args: argparse.Namespace) -> int:
         )
         for list_size in args.list_sizes
     ]
-    if args.workers > 1:
-        from repro.runtime.sharded import sharded_search
+    recorder = _start_telemetry(
+        args,
+        obs,
+        {"command": "search", "seed": args.seed, "scale": args.scale},
+    )
+    outcome = "completed"
+    try:
+        if args.workers > 1:
+            from repro.runtime.sharded import sharded_search
 
-        results = sharded_search(
-            static,
-            configs,
-            workers=args.workers,
-            obs=obs,
-            span_names=[f"search@{size}" for size in args.list_sizes],
-        )
-    else:
-        results = []
-        for list_size, config in zip(args.list_sizes, configs):
-            with obs.span(f"search@{list_size}"):
-                results.append(simulate_search(static, config, obs=obs))
+            results = sharded_search(
+                static,
+                configs,
+                workers=args.workers,
+                obs=obs,
+                span_names=[f"search@{size}" for size in args.list_sizes],
+                telemetry=_telemetry_spec(args),
+            )
+        else:
+            results = []
+            for list_size, config in zip(args.list_sizes, configs):
+                with obs.span(f"search@{list_size}"):
+                    results.append(simulate_search(static, config, obs=obs))
+    except BaseException:
+        outcome = "failed"
+        raise
+    finally:
+        if recorder is not None:
+            recorder.close(outcome)
     for list_size, result in zip(args.list_sizes, results):
         row = (list_size, result.rates.requests, percent(result.hit_rate))
         if faulty:
@@ -377,10 +468,27 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    problem = _check_out_parents(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     obs = _observer(args)
     ctx = RunContext(seed=args.seed, scale=_scale(args.scale), obs=obs)
-    with obs.span(f"experiment/{args.id}"):
-        result = spec.run(ctx=ctx)
+    recorder = _start_telemetry(
+        args,
+        obs,
+        {"command": "experiment", "id": args.id, "scale": args.scale},
+    )
+    outcome = "completed"
+    try:
+        with obs.span(f"experiment/{args.id}"):
+            result = spec.run(ctx=ctx)
+    except BaseException:
+        outcome = "failed"
+        raise
+    finally:
+        if recorder is not None:
+            recorder.close(outcome)
     print(result.render())
     _emit_observability(
         args,
@@ -395,14 +503,20 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.obs.log import get_log
     from repro.runtime import RunContext, Runner, UnknownExperimentError
 
+    problem = _check_out_parents(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     ctx = RunContext(seed=args.seed, scale=_scale(args.scale))
     runner = Runner(
         ctx=ctx,
         results_dir=args.results_dir,
         force=args.force,
         write_metrics=args.metrics_out,
+        telemetry=_telemetry_spec(args),
     )
 
     if args.workers > 1:
@@ -410,7 +524,7 @@ def cmd_run_all(args: argparse.Namespace) -> int:
 
     report = _run_all_reporter(args)
 
-    print(
+    get_log().info(
         f"Running experiments at scale={args.scale} seed={args.seed} "
         f"-> {args.results_dir}"
     )
@@ -496,7 +610,9 @@ def _run_all_parallel(args: argparse.Namespace, runner) -> int:
         sequential_names = [s.name for s in specs if s.sequential_only]
 
     report = _run_all_reporter(args)
-    print(
+    from repro.obs.log import get_log
+
+    get_log().info(
         f"Running experiments at scale={args.scale} seed={args.seed} "
         f"-> {args.results_dir} ({args.workers} workers)"
     )
@@ -509,6 +625,7 @@ def _run_all_parallel(args: argparse.Namespace, runner) -> int:
         force=args.force,
         write_metrics=args.metrics_out,
         on_outcome=report,
+        telemetry=_telemetry_spec(args),
     )
     if sequential_names:
         print(
@@ -542,6 +659,197 @@ def cmd_metrics_diff(args: argparse.Namespace) -> int:
     diff = diff_metrics(baseline, current, rules)
     print(diff.render())
     return 0 if diff.ok else 1
+
+
+# ----------------------------------------------------------------------
+# tail (live telemetry viewer)
+
+
+def _render_tail(records, now: float) -> str:
+    """One table row per telemetry source: progress, RSS, heartbeat age."""
+    from repro.util.tables import format_table
+
+    by_source: dict = {}
+    for record in records:
+        if record.get("kind") in ("snapshot", "end"):
+            by_source[record["source"]] = record
+    rows = []
+    for source in sorted(by_source):
+        record = by_source[source]
+        progress = record.get("progress", {})
+        if "days_done" in progress and "days_total" in progress:
+            shown = (
+                f"day {progress['days_done']:.0f}/{progress['days_total']:.0f}"
+            )
+        elif "requests_done" in progress:
+            shown = f"{progress['requests_done']:.0f} requests"
+        elif progress:
+            key = sorted(progress)[0]
+            shown = f"{key}={progress[key]:g}"
+        else:
+            shown = "-"
+        resource = record.get("resource", {})
+        rss_mb = resource.get("rss_bytes", 0.0) / (1024 * 1024)
+        cpu_s = resource.get("cpu_user_s", 0.0) + resource.get(
+            "cpu_system_s", 0.0
+        )
+        age_s = max(0.0, now - record.get("ts", now))
+        state = (
+            record.get("outcome", "ended")
+            if record["kind"] == "end"
+            else "live"
+        )
+        rows.append(
+            (
+                source,
+                record.get("pid", "-"),
+                shown,
+                f"{rss_mb:.1f}",
+                f"{cpu_s:.1f}",
+                f"{record.get('heartbeat_s', 0.0):.1f}",
+                f"{age_s:.1f}",
+                state,
+            )
+        )
+    return format_table(
+        (
+            "source",
+            "pid",
+            "progress",
+            "rss MB",
+            "cpu s",
+            "uptime s",
+            "age s",
+            "state",
+        ),
+        rows,
+        title=f"Telemetry ({len(records)} records)",
+    )
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.telemetry import read_telemetry
+
+    def render_once() -> object:
+        try:
+            records, truncated = read_telemetry(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+            return None
+        if not records:
+            print(f"{args.file}: no complete telemetry records yet")
+            return records
+        print(_render_tail(records, now=_time.time()))
+        if truncated:
+            print("  (torn final line ignored — writer crashed mid-append?)")
+        return records
+
+    records = render_once()
+    if records is None:
+        return 2
+    if not args.follow:
+        return 0
+    try:
+        while True:
+            sources = {
+                r["source"] for r in records if r.get("kind") == "start"
+            }
+            ended = {r["source"] for r in records if r.get("kind") == "end"}
+            if records and sources and sources <= ended:
+                return 0
+            _time.sleep(args.interval)
+            print()
+            records = render_once()
+            if records is None:
+                return 2
+    except KeyboardInterrupt:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# report (standalone HTML run report)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.htmlreport import write_report
+
+    if not (args.metrics or args.telemetry or args.trace):
+        print(
+            "error: nothing to report — pass at least one of --metrics, "
+            "--telemetry, --trace",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = telemetry = trace = None
+    try:
+        if args.metrics:
+            from repro.obs import RunMetrics
+
+            metrics = RunMetrics.read(args.metrics)
+        if args.telemetry:
+            from repro.obs.telemetry import read_telemetry
+
+            telemetry, _truncated = read_telemetry(args.telemetry)
+        if args.trace:
+            with open(args.trace, "r", encoding="utf-8") as fh:
+                trace = _json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load report input: {exc}", file=sys.stderr)
+        return 2
+    try:
+        write_report(
+            args.output,
+            metrics=metrics,
+            telemetry=telemetry,
+            trace=trace,
+            title=args.title,
+        )
+    except OSError as exc:
+        print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 2
+    print(f"Wrote report to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench-summary
+
+
+def cmd_bench_summary(args: argparse.Namespace) -> int:
+    from repro.obs.benchsummary import (
+        collate_results,
+        render_summary,
+        summary_to_json,
+    )
+
+    try:
+        entries = collate_results(args.results_dir)
+    except OSError as exc:
+        print(f"error: cannot read {args.results_dir}: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(
+            f"error: no benchmark result JSONs in {args.results_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    text = render_summary(entries)
+    print(text)
+    if args.json:
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(args.json, summary_to_json(entries) + "\n")
+        print(f"Wrote summary JSON to {args.json}")
+    if args.txt:
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(args.txt, text + "\n")
+        print(f"Wrote summary table to {args.txt}")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -673,6 +981,10 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     from repro.trace.stats import general_characteristics
     from repro.util.tables import percent
 
+    problem = _check_out_parents(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     checkpointer = (
         Checkpointer(args.checkpoint_dir) if args.checkpoint_dir else None
     )
@@ -791,7 +1103,9 @@ def cmd_crawl(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         network = crawler.network
-        print(
+        from repro.obs.log import get_log
+
+        get_log().info(
             f"Resuming crawl at day {crawler.next_day_offset}/{args.days} "
             f"from {info.path.name}..."
         )
@@ -824,22 +1138,44 @@ def cmd_crawl(args: argparse.Namespace) -> int:
                 return 2
         obs = _observer(args)
         if args.workers > 1:
+            from repro.obs.log import get_log
             from repro.runtime.sharded import ShardedRunner
 
-            print(
+            get_log().info(
                 f"Crawling {args.clients} clients for {args.days} days "
                 f"({args.workers} workers)..."
             )
-            sharded = ShardedRunner(args.workers, obs=obs).crawl(
-                NetworkConfig(
-                    workload=workload, faults=faults, fault_schedule=None
-                ),
-                CrawlerConfig(days=args.days),
-                seed=args.seed,
-                days=args.days,
-                store_dir=args.store,
-                stream=args.stream,
+            recorder = _start_telemetry(
+                args,
+                obs,
+                {
+                    "command": "crawl",
+                    "seed": args.seed,
+                    "clients": args.clients,
+                    "days": args.days,
+                    "workers": args.workers,
+                },
             )
+            outcome = "completed"
+            try:
+                sharded = ShardedRunner(
+                    args.workers, obs=obs, telemetry=_telemetry_spec(args)
+                ).crawl(
+                    NetworkConfig(
+                        workload=workload, faults=faults, fault_schedule=None
+                    ),
+                    CrawlerConfig(days=args.days),
+                    seed=args.seed,
+                    days=args.days,
+                    store_dir=args.store,
+                    stream=args.stream,
+                )
+            except BaseException:
+                outcome = "failed"
+                raise
+            finally:
+                if recorder is not None:
+                    recorder.close(outcome)
             return _crawl_summary(
                 args,
                 obs,
@@ -863,7 +1199,11 @@ def cmd_crawl(args: argparse.Namespace) -> int:
             store_dir=args.store,
             stream=args.stream,
         )
-        print(f"Crawling {args.clients} clients for {args.days} days...")
+        from repro.obs.log import get_log
+
+        get_log().info(
+            f"Crawling {args.clients} clients for {args.days} days..."
+        )
 
     on_day_end = None
     if args.kill_after_day is not None:
@@ -876,7 +1216,25 @@ def cmd_crawl(args: argparse.Namespace) -> int:
                 # survives — exactly what resume must cope with.
                 os.kill(os.getpid(), signal.SIGKILL)
 
-    trace = crawler.crawl(checkpointer=checkpointer, on_day_end=on_day_end)
+    recorder = _start_telemetry(
+        args,
+        obs,
+        {
+            "command": "crawl",
+            "seed": args.seed,
+            "clients": args.clients,
+            "days": args.days,
+        },
+    )
+    outcome = "completed"
+    try:
+        trace = crawler.crawl(checkpointer=checkpointer, on_day_end=on_day_end)
+    except BaseException:
+        outcome = "failed"
+        raise
+    finally:
+        if recorder is not None:
+            recorder.close(outcome)
     return _crawl_summary(
         args,
         obs,
@@ -1047,7 +1405,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiments in N worker processes; an explicit --only "
         "selection naming a sequential-only experiment is rejected",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_run_all, seed=DEFAULT_SEED)
+
+    p = subparsers.add_parser(
+        "tail", help="render a live repro.telemetry JSONL stream"
+    )
+    p.add_argument("file", help="telemetry JSONL written by --telemetry-out")
+    p.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep re-rendering until every source has ended (Ctrl-C stops)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="refresh interval with --follow (default: 1.0)",
+    )
+    p.set_defaults(func=cmd_tail)
+
+    p = subparsers.add_parser(
+        "report",
+        help="render metrics + telemetry + trace into one standalone "
+        "HTML run report (no network assets)",
+    )
+    p.add_argument("--metrics", metavar="PATH", help="repro.metrics JSON")
+    p.add_argument(
+        "--telemetry", metavar="PATH", help="repro.telemetry JSONL"
+    )
+    p.add_argument(
+        "--trace", metavar="PATH", help="Chrome trace_event JSON"
+    )
+    p.add_argument(
+        "--output", "-o", required=True, metavar="PATH", help="output HTML"
+    )
+    p.add_argument(
+        "--title", default="repro run report", help="report heading"
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = subparsers.add_parser(
+        "bench-summary",
+        help="collate benchmarks/results/*.json into one trajectory table",
+    )
+    p.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory of benchmark result JSONs "
+        "(default: benchmarks/results)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="also write the summary as JSON"
+    )
+    p.add_argument(
+        "--txt", metavar="PATH", help="also write the rendered table"
+    )
+    p.set_defaults(func=cmd_bench_summary)
 
     p = subparsers.add_parser(
         "metrics", help="inspect and compare metrics files"

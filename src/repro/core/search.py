@@ -725,6 +725,10 @@ class SearchSimulator:
             except StopIteration:
                 break
             processed += 1
+            if profiled:
+                # Direct dict store: the flight recorder reads this live,
+                # and a method call per request would tax the hot loop.
+                obs.gauges["progress/requests_done"] = float(processed)
             sharers = self._sharers(file_key)
             if not sharers:
                 # Original contributor: the file enters the system here.

@@ -424,6 +424,8 @@ class Crawler:
         trace = self._trace
         start = self._next_day_offset
         obs = self.obs
+        obs.gauge("progress/days_total", days)
+        obs.gauge("progress/days_done", start)
         with obs.span("crawl"):
             if start == 0:
                 with obs.span("refresh_servers"):
@@ -449,6 +451,7 @@ class Crawler:
                             trace.drop_day(network_day)
                     self.network.advance_day()
                 self._next_day_offset = day_offset + 1
+                obs.gauge("progress/days_done", day_offset + 1)
                 if checkpointer is not None:
                     self.save_checkpoint(checkpointer)
                 if on_day_end is not None:

@@ -18,6 +18,18 @@ The subsystem has four parts:
   :class:`Observer` produces, plus its validator and the ``--profile``
   renderer — and :mod:`repro.obs.diff`, the metrics diff/regression
   gate behind ``repro metrics diff``.
+
+The live-telemetry plane (PR 9) adds four more:
+
+- :mod:`repro.obs.resource` — :class:`ResourceSampler`, a psutil-free
+  ``/proc``-based RSS/CPU/IO/GC gauge series with a portable fallback;
+- :mod:`repro.obs.telemetry` — :class:`FlightRecorder`, the
+  crash-persistent ``repro.telemetry/1`` JSONL snapshot stream
+  (``--telemetry-out``), plus its reader and validator;
+- :mod:`repro.obs.log` — the tiny leveled stderr logger
+  (``REPRO_LOG=debug|info|quiet``) progress narration goes through;
+- :mod:`repro.obs.htmlreport` — the standalone HTML run report
+  renderer behind ``repro report``.
 """
 
 from repro.obs.diff import (
@@ -29,6 +41,15 @@ from repro.obs.diff import (
 )
 from repro.obs.events import TraceRecorder, validate_chrome_trace
 from repro.obs.hist import COUNT_BOUNDS, LATENCY_BOUNDS_S, Histogram, log_bounds
+from repro.obs.log import LOG, Log, get_log, log_level, set_context
+from repro.obs.resource import ResourceSample, ResourceSampler
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    FlightRecorder,
+    TelemetrySpec,
+    read_telemetry,
+    validate_telemetry,
+)
 from repro.obs.report import (
     ACCEPTED_SCHEMAS,
     SCHEMA_V1,
@@ -43,21 +64,33 @@ __all__ = [
     "ACCEPTED_SCHEMAS",
     "COUNT_BOUNDS",
     "DEFAULT_TOLERANCE_SPEC",
+    "FlightRecorder",
     "Histogram",
     "LATENCY_BOUNDS_S",
+    "LOG",
+    "Log",
     "MetricsDiff",
     "NULL_OBSERVER",
     "Observer",
+    "ResourceSample",
+    "ResourceSampler",
     "RunMetrics",
     "SCHEMA_V1",
     "SCHEMA_VERSION",
     "SpanStat",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySpec",
     "ToleranceRule",
     "TraceRecorder",
     "diff_metrics",
+    "get_log",
     "log_bounds",
+    "log_level",
     "parse_tolerance_spec",
+    "read_telemetry",
     "render_profile",
+    "set_context",
     "validate_chrome_trace",
     "validate_metrics",
+    "validate_telemetry",
 ]

@@ -39,20 +39,38 @@ DEFAULT_MAX_EVENTS = 200_000
 
 
 class TraceRecorder:
-    """Bounded ring of structured events with monotonic timestamps."""
+    """Bounded ring of structured events with monotonic timestamps.
 
-    __slots__ = ("clock", "epoch", "_events", "dropped")
+    ``pid``/``process_name`` label this recorder's own events on the
+    exported timeline; a sharded run gives each worker its shard number
+    as ``pid`` and the coordinator folds the rings together with
+    :meth:`merge_from`, so one Chrome trace shows every process as its
+    own named track.
+    """
+
+    __slots__ = (
+        "clock",
+        "epoch",
+        "pid",
+        "_process_names",
+        "_events",
+        "dropped",
+    )
 
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         max_events: int = DEFAULT_MAX_EVENTS,
+        pid: int = 1,
+        process_name: str = "repro",
     ) -> None:
         if max_events <= 0:
             raise ValueError(f"max_events must be > 0, got {max_events}")
         self.clock = clock
         self.epoch = clock()
-        # Each entry: (ph, name, cat, ts_us, dur_us, args)
+        self.pid = pid
+        self._process_names: Dict[int, str] = {pid: process_name}
+        # Each entry: (ph, name, cat, ts_us, dur_us, args, pid)
         self._events: deque = deque(maxlen=max_events)
         self.dropped = 0
 
@@ -81,7 +99,7 @@ class TraceRecorder:
         """One closed span: ``start_s`` on the recorder's clock, ``dur_s``
         long."""
         self._append(
-            ("X", name, cat, self._ts_us(start_s), dur_s * 1e6, args)
+            ("X", name, cat, self._ts_us(start_s), dur_s * 1e6, args, self.pid)
         )
 
     def instant(
@@ -93,7 +111,38 @@ class TraceRecorder:
     ) -> None:
         """A point event, stamped now unless ``ts_s`` is given."""
         instant_s = self.clock() if ts_s is None else ts_s
-        self._append(("i", name, cat, self._ts_us(instant_s), None, args))
+        self._append(
+            ("i", name, cat, self._ts_us(instant_s), None, args, self.pid)
+        )
+
+    # ------------------------------------------------------------------
+    # Merging (sharded runs)
+
+    def merge_from(
+        self,
+        other: "TraceRecorder",
+        pid: Optional[int] = None,
+        process_name: Optional[str] = None,
+    ) -> None:
+        """Fold another recorder's events onto this timeline.
+
+        ``other``'s timestamps are re-based through the epoch delta —
+        valid because ``time.perf_counter`` is the system-wide
+        ``CLOCK_MONOTONIC`` on Linux, so two processes' epochs live on
+        the same clock.  The merged events keep their own ``pid``
+        (overridable), rendering as a separate named process track.
+        """
+        merge_pid = other.pid if pid is None else pid
+        name = process_name
+        if name is None:
+            name = other._process_names.get(other.pid, f"pid {merge_pid}")
+        self._process_names[merge_pid] = name
+        delta_us = (other.epoch - self.epoch) * 1e6
+        for ph, ev_name, cat, ts_us, dur_us, args, _pid in other._events:
+            self._append(
+                (ph, ev_name, cat, ts_us + delta_us, dur_us, args, merge_pid)
+            )
+        self.dropped += other.dropped
 
     # ------------------------------------------------------------------
     # Chrome trace_event export
@@ -104,19 +153,20 @@ class TraceRecorder:
             {
                 "ph": "M",
                 "name": "process_name",
-                "pid": 1,
+                "pid": meta_pid,
                 "tid": 1,
                 "ts": 0,
-                "args": {"name": "repro"},
+                "args": {"name": meta_name},
             }
+            for meta_pid, meta_name in sorted(self._process_names.items())
         ]
-        for ph, name, cat, ts_us, dur_us, args in self._events:
+        for ph, name, cat, ts_us, dur_us, args, ev_pid in self._events:
             event: Dict[str, object] = {
                 "ph": ph,
                 "name": name,
                 "cat": cat,
                 "ts": ts_us,
-                "pid": 1,
+                "pid": ev_pid,
                 "tid": 1,
             }
             if ph == "X":

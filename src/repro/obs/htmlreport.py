@@ -1,0 +1,681 @@
+"""Standalone HTML run reports: metrics + telemetry + trace in one file.
+
+``repro report`` renders the three observability artefacts a run can
+leave behind — a ``repro.metrics/2`` JSON, a ``repro.telemetry/1``
+JSONL and a Chrome ``trace_event`` JSON — into one self-contained HTML
+file: resource curves, a progress timeline, span totals, histogram
+percentiles and a per-process trace timeline.  Everything is inline
+(CSS and SVG generated here, system font stack, zero network assets),
+so the file can be archived as a CI artifact and opened years later.
+
+Charts follow the repo's chart conventions: a fixed categorical palette
+assigned per *entity* (a telemetry source keeps its colour across every
+chart), light and dark schemes via CSS custom properties, one axis per
+chart, hairline grids, ``<title>`` hover tooltips on every mark, and a
+table view under each chart so no reading depends on colour.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_report", "write_report"]
+
+# Categorical palette (fixed slot order, light/dark pairs).  Slot order
+# is load-bearing for colour-vision safety — never reorder or cycle.
+_SERIES = [
+    ("#2a78d6", "#3987e5"),  # 1 blue
+    ("#eb6834", "#d95926"),  # 2 orange
+    ("#1baf7a", "#199e70"),  # 3 aqua
+    ("#eda100", "#c98500"),  # 4 yellow
+    ("#e87ba4", "#d55181"),  # 5 magenta
+    ("#008300", "#008300"),  # 6 green
+    ("#4a3aa7", "#9085e9"),  # 7 violet
+    ("#e34948", "#e66767"),  # 8 red
+]
+
+_CSS_LIGHT = """
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+""" + "".join(
+    f"  --series-{i + 1}: {light};\n" for i, (light, _dark) in enumerate(_SERIES)
+)
+
+_CSS_DARK = """
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --gridline: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+""" + "".join(
+    f"  --series-{i + 1}: {dark};\n" for i, (_light, dark) in enumerate(_SERIES)
+)
+
+#: Keep at most this many drawn events from a Chrome trace (the largest
+#: stay; the caption reports what was dropped).
+MAX_TRACE_EVENTS = 1500
+
+_VIEW_W = 720
+_VIEW_H = 240
+_PAD_L = 64
+_PAD_R = 12
+_PAD_T = 12
+_PAD_B = 28
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    if abs(value) >= 0.01:
+        return f"{value:.3g}"
+    return f"{value:.2e}"
+
+
+def _series_var(index: int) -> str:
+    return f"var(--series-{(index % len(_SERIES)) + 1})"
+
+
+def _ticks(lo: float, hi: float, n: int = 4) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / n
+    return [lo + i * step for i in range(n + 1)]
+
+
+class _Chart:
+    """One SVG line/bar chart with grid, axis, tooltips and a table."""
+
+    def __init__(self, title: str, y_label: str, x_label: str) -> None:
+        self.title = title
+        self.y_label = y_label
+        self.x_label = x_label
+
+    def frame(
+        self, body: str, x_lo: float, x_hi: float, y_lo: float, y_hi: float
+    ) -> str:
+        """The chart SVG: hairline grid + one y axis + the mark body."""
+        parts = [
+            f'<svg viewBox="0 0 {_VIEW_W} {_VIEW_H}" role="img" '
+            f'aria-label="{_esc(self.title)}">'
+        ]
+        for tick in _ticks(y_lo, y_hi):
+            y = self.y_px(tick, y_lo, y_hi)
+            parts.append(
+                f'<line x1="{_PAD_L}" y1="{y:.1f}" x2="{_VIEW_W - _PAD_R}" '
+                f'y2="{y:.1f}" stroke="var(--gridline)" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{_PAD_L - 6}" y="{y + 3:.1f}" text-anchor="end" '
+                f'class="tick">{_esc(_fmt(tick))}</text>'
+            )
+        for tick in _ticks(x_lo, x_hi):
+            x = self.x_px(tick, x_lo, x_hi)
+            parts.append(
+                f'<text x="{x:.1f}" y="{_VIEW_H - 8}" text-anchor="middle" '
+                f'class="tick">{_esc(_fmt(tick))}</text>'
+            )
+        baseline_y = self.y_px(y_lo, y_lo, y_hi)
+        parts.append(
+            f'<line x1="{_PAD_L}" y1="{baseline_y:.1f}" '
+            f'x2="{_VIEW_W - _PAD_R}" y2="{baseline_y:.1f}" '
+            f'stroke="var(--baseline)" stroke-width="1"/>'
+        )
+        parts.append(body)
+        parts.append("</svg>")
+        return "".join(parts)
+
+    @staticmethod
+    def x_px(value: float, lo: float, hi: float) -> float:
+        span = (hi - lo) or 1.0
+        usable = _VIEW_W - _PAD_L - _PAD_R
+        return _PAD_L + (value - lo) / span * usable
+
+    @staticmethod
+    def y_px(value: float, lo: float, hi: float) -> float:
+        span = (hi - lo) or 1.0
+        usable = _VIEW_H - _PAD_T - _PAD_B
+        return _VIEW_H - _PAD_B - (value - lo) / span * usable
+
+
+def _legend(names: Sequence[str]) -> str:
+    if len(names) < 2:
+        return ""
+    items = "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:{_series_var(i)}"></span>{_esc(name)}</span>'
+        for i, name in enumerate(names)
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        "<details><summary>Table view</summary>"
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{body}</tbody></table></details>"
+    )
+
+
+def _section(
+    title: str,
+    chart_html: str,
+    legend_html: str,
+    table_html: str,
+    caption: str = "",
+) -> str:
+    caption_html = f'<p class="caption">{_esc(caption)}</p>' if caption else ""
+    return (
+        f'<section class="viz-root"><h2>{_esc(title)}</h2>'
+        f"{legend_html}{chart_html}{caption_html}{table_html}</section>"
+    )
+
+
+def _line_chart(
+    title: str,
+    y_label: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    x_label: str = "elapsed s",
+) -> str:
+    """A multi-series line chart; one colour slot per source, in order."""
+    names = sorted(series)
+    shown = names[: len(_SERIES)]
+    folded = len(names) - len(shown)
+    points = [p for name in shown for p in series[name]]
+    if not points:
+        return ""
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = 0.0
+    y_hi = max(p[1] for p in points) * 1.05 or 1.0
+    chart = _Chart(title, y_label, x_label)
+    body_parts = []
+    for i, name in enumerate(shown):
+        pts = series[name]
+        coords = " ".join(
+            f"{chart.x_px(x, x_lo, x_hi):.1f},{chart.y_px(y, y_lo, y_hi):.1f}"
+            for x, y in pts
+        )
+        colour = _series_var(i)
+        body_parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{colour}" '
+            f'stroke-width="2" stroke-linejoin="round">'
+            f"<title>{_esc(name)}</title></polyline>"
+        )
+        # Last-point direct label (selective labelling, never every point).
+        lx, ly = pts[-1]
+        body_parts.append(
+            f'<circle cx="{chart.x_px(lx, x_lo, x_hi):.1f}" '
+            f'cy="{chart.y_px(ly, y_lo, y_hi):.1f}" r="3" fill="{colour}">'
+            f"<title>{_esc(name)}: {_esc(_fmt(ly))} {_esc(y_label)} "
+            f"at {_esc(_fmt(lx))} s</title></circle>"
+        )
+    rows = [
+        (name, len(series[name]), _fmt(series[name][-1][1]))
+        for name in names
+    ]
+    caption = (
+        f"{folded} source(s) beyond the 8 colour slots appear only in the "
+        "table." if folded else ""
+    )
+    return _section(
+        title,
+        chart.frame("".join(body_parts), x_lo, x_hi, y_lo, y_hi),
+        _legend(shown),
+        _table(("source", "samples", f"last {y_label}"), rows),
+        caption,
+    )
+
+
+def _bar_chart(
+    title: str,
+    y_label: str,
+    bars: List[Tuple[str, float]],
+    colour_by_entity: Optional[Dict[str, int]] = None,
+) -> str:
+    """Horizontal bars (single hue unless entity colours are passed)."""
+    if not bars:
+        return ""
+    x_hi = max(value for _name, value in bars) * 1.05 or 1.0
+    row_h = 26
+    height = len(bars) * row_h + 8
+    parts = [
+        f'<svg viewBox="0 0 {_VIEW_W} {height}" role="img" '
+        f'aria-label="{_esc(title)}">'
+    ]
+    label_w = 240
+    usable = _VIEW_W - label_w - _PAD_R
+    for i, (name, value) in enumerate(bars):
+        y = i * row_h + 4
+        width = max(1.0, value / x_hi * usable)
+        slot = colour_by_entity.get(name, 0) if colour_by_entity else 0
+        colour = _series_var(slot)
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + 13}" text-anchor="end" '
+            f'class="label">{_esc(name)}</text>'
+        )
+        parts.append(
+            f'<rect x="{label_w}" y="{y}" width="{width:.1f}" height="16" '
+            f'rx="4" fill="{colour}"><title>{_esc(name)}: '
+            f"{_esc(_fmt(value))} {_esc(y_label)}</title></rect>"
+        )
+        parts.append(
+            f'<text x="{label_w + width + 6:.1f}" y="{y + 13}" '
+            f'class="value">{_esc(_fmt(value))}</text>'
+        )
+    parts.append("</svg>")
+    rows = [(name, _fmt(value)) for name, value in bars]
+    return _section(
+        title,
+        "".join(parts),
+        "",
+        _table(("name", y_label), rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Telemetry sections
+
+
+def _telemetry_series(
+    records: List[Dict[str, object]], field: str, scale: float = 1.0
+) -> Dict[str, List[Tuple[float, float]]]:
+    snapshots = [
+        r for r in records if r.get("kind") in ("snapshot", "end")
+    ]
+    if not snapshots:
+        return {}
+    t0 = min(float(r["mono_s"]) for r in snapshots)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for record in snapshots:
+        resource = record.get("resource", {})
+        if field not in resource:
+            continue
+        series.setdefault(str(record["source"]), []).append(
+            (float(record["mono_s"]) - t0, float(resource[field]) * scale)
+        )
+    return series
+
+
+def _progress_series(
+    records: List[Dict[str, object]],
+) -> Tuple[str, Dict[str, List[Tuple[float, float]]]]:
+    snapshots = [
+        r for r in records if r.get("kind") in ("snapshot", "end")
+    ]
+    if not snapshots:
+        return "progress", {}
+    keys = [
+        key
+        for key in ("days_done", "requests_done")
+        if any(key in r.get("progress", {}) for r in snapshots)
+    ]
+    if not keys:
+        return "progress", {}
+    key = keys[0]
+    t0 = min(float(r["mono_s"]) for r in snapshots)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for record in snapshots:
+        progress = record.get("progress", {})
+        if key not in progress:
+            continue
+        series.setdefault(str(record["source"]), []).append(
+            (float(record["mono_s"]) - t0, float(progress[key]))
+        )
+    return key, series
+
+
+def _telemetry_sections(records: List[Dict[str, object]]) -> str:
+    sections = []
+    rss = _telemetry_series(records, "rss_bytes", scale=1.0 / (1024 * 1024))
+    if rss:
+        sections.append(_line_chart("Resident set size", "MB", rss))
+    cpu = _telemetry_series(records, "cpu_user_s")
+    system = _telemetry_series(records, "cpu_system_s")
+    total: Dict[str, List[Tuple[float, float]]] = {}
+    for name, pts in cpu.items():
+        sys_pts = dict(system.get(name, []))
+        total[name] = [(t, v + sys_pts.get(t, 0.0)) for t, v in pts]
+    if total:
+        sections.append(_line_chart("Cumulative CPU time", "s", total))
+    key, progress = _progress_series(records)
+    if progress:
+        sections.append(
+            _line_chart(f"Progress ({key.replace('_', ' ')})", key, progress)
+        )
+    ends = [r for r in records if r.get("kind") == "end"]
+    if ends:
+        rows = [
+            (
+                r["source"],
+                r.get("pid", "-"),
+                _fmt(float(r.get("heartbeat_s", 0.0))),
+                r.get("outcome", "-"),
+            )
+            for r in sorted(ends, key=lambda r: str(r["source"]))
+        ]
+        sections.append(
+            '<section class="viz-root"><h2>Run outcome</h2>'
+            + _table(("source", "pid", "uptime s", "outcome"), rows).replace(
+                "<details><summary>Table view</summary>", "<div>"
+            ).replace("</details>", "</div>")
+            + "</section>"
+        )
+    return "".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Metrics sections
+
+
+def _metrics_sections(payload: Dict[str, object]) -> str:
+    sections = []
+    spans = payload.get("spans", {})
+    if isinstance(spans, dict) and spans:
+        totals = sorted(
+            (
+                (path, float(stat.get("total_s", 0.0)))
+                for path, stat in spans.items()
+                if isinstance(stat, dict)
+            ),
+            key=lambda item: -item[1],
+        )[:10]
+        sections.append(_bar_chart("Top spans by total time", "s", totals))
+    histograms = payload.get("histograms", {})
+    if isinstance(histograms, dict) and histograms:
+        from repro.obs.hist import Histogram
+
+        rows = []
+        for name in sorted(histograms):
+            try:
+                hist = Histogram.from_dict(histograms[name])
+            except (ValueError, KeyError, TypeError):
+                continue
+            if hist.count == 0:
+                continue
+            rows.append(
+                (
+                    name,
+                    int(hist.count),
+                    _fmt(hist.percentile(0.50)),
+                    _fmt(hist.percentile(0.90)),
+                    _fmt(hist.percentile(0.99)),
+                    _fmt(hist.max),
+                )
+            )
+        if rows:
+            # Units differ per histogram (hops vs seconds), so a shared
+            # bar axis would lie; an always-open table is the honest form.
+            sections.append(
+                '<section class="viz-root"><h2>Histogram percentiles</h2>'
+                + _table(
+                    ("histogram", "count", "p50", "p90", "p99", "max"), rows
+                ).replace(
+                    "<details><summary>Table view</summary>", "<div>"
+                ).replace("</details>", "</div>")
+                + "</section>"
+            )
+    return "".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace section
+
+
+def _trace_section(payload: Dict[str, object]) -> str:
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ""
+    process_names: Dict[int, str] = {}
+    complete = []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            args = event.get("args", {})
+            process_names[int(event.get("pid", 0))] = str(
+                args.get("name", event.get("pid"))
+            )
+        elif event.get("ph") == "X":
+            complete.append(event)
+    if not complete:
+        return ""
+    shown = sorted(
+        complete, key=lambda e: -float(e.get("dur", 0.0))
+    )[:MAX_TRACE_EVENTS]
+    dropped = len(complete) - len(shown)
+    pids = sorted({int(e.get("pid", 0)) for e in shown})
+    t_lo = min(float(e["ts"]) for e in shown)
+    t_hi = max(float(e["ts"]) + float(e.get("dur", 0.0)) for e in shown)
+    span_us = (t_hi - t_lo) or 1.0
+    lane_h = 30
+    label_w = 140
+    height = len(pids) * lane_h + 24
+    usable = _VIEW_W - label_w - _PAD_R
+    parts = [
+        f'<svg viewBox="0 0 {_VIEW_W} {height}" role="img" '
+        'aria-label="Trace timeline">'
+    ]
+    lane_of = {pid: i for i, pid in enumerate(pids)}
+    for pid, lane in lane_of.items():
+        y = lane * lane_h + 4
+        name = process_names.get(pid, f"pid {pid}")
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + 14}" text-anchor="end" '
+            f'class="label">{_esc(name)}</text>'
+        )
+        parts.append(
+            f'<line x1="{label_w}" y1="{y + 20}" x2="{_VIEW_W - _PAD_R}" '
+            f'y2="{y + 20}" stroke="var(--gridline)" stroke-width="1"/>'
+        )
+    for event in shown:
+        pid = int(event.get("pid", 0))
+        lane = lane_of[pid]
+        y = lane * lane_h + 4
+        x = label_w + (float(event["ts"]) - t_lo) / span_us * usable
+        width = max(1.0, float(event.get("dur", 0.0)) / span_us * usable)
+        colour = _series_var(lane_of[pid])
+        dur_ms = float(event.get("dur", 0.0)) / 1000.0
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{width:.1f}" height="14" '
+            f'rx="2" fill="{colour}" fill-opacity="0.85">'
+            f'<title>{_esc(event.get("name", "?"))} — '
+            f"{_esc(_fmt(dur_ms))} ms "
+            f"({_esc(process_names.get(pid, pid))})</title></rect>"
+        )
+    parts.append(
+        f'<text x="{label_w}" y="{height - 6}" class="tick">0 ms</text>'
+    )
+    parts.append(
+        f'<text x="{_VIEW_W - _PAD_R}" y="{height - 6}" text-anchor="end" '
+        f'class="tick">{_esc(_fmt(span_us / 1000.0))} ms</text>'
+    )
+    parts.append("</svg>")
+    caption = (
+        f"{dropped} shorter event(s) not drawn (the {MAX_TRACE_EVENTS} "
+        "longest are shown)." if dropped else ""
+    )
+    per_pid_rows = []
+    for pid in pids:
+        pid_events = [e for e in complete if int(e.get("pid", 0)) == pid]
+        per_pid_rows.append(
+            (
+                process_names.get(pid, f"pid {pid}"),
+                len(pid_events),
+                _fmt(
+                    sum(float(e.get("dur", 0.0)) for e in pid_events) / 1e6
+                ),
+            )
+        )
+    return _section(
+        "Trace timeline",
+        "".join(parts),
+        _legend([process_names.get(pid, f"pid {pid}") for pid in pids]),
+        _table(("process", "events", "total s"), per_pid_rows),
+        caption,
+    )
+
+
+# ----------------------------------------------------------------------
+# Assembly
+
+
+def _header_meta(
+    metrics: Optional[Dict[str, object]],
+    telemetry: Optional[List[Dict[str, object]]],
+) -> str:
+    chips: List[Tuple[str, object]] = []
+    if metrics:
+        run = metrics.get("run", {})
+        if isinstance(run, dict):
+            chips.extend(sorted(run.items()))
+    if telemetry:
+        starts = [r for r in telemetry if r.get("kind") == "start"]
+        sources = sorted({str(r["source"]) for r in starts})
+        if sources:
+            chips.append(("sources", ", ".join(sources)))
+    if not chips:
+        return ""
+    items = "".join(
+        f'<span class="chip"><span class="chip-key">{_esc(key)}</span> '
+        f"{_esc(value)}</span>"
+        for key, value in chips
+    )
+    return f'<div class="meta">{items}</div>'
+
+
+def render_report(
+    metrics=None,
+    telemetry: Optional[List[Dict[str, object]]] = None,
+    trace: Optional[Dict[str, object]] = None,
+    title: str = "repro run report",
+) -> str:
+    """The complete standalone HTML document as a string.
+
+    ``metrics`` may be a :class:`~repro.obs.report.RunMetrics` or its
+    dict form; ``telemetry`` is a list of parsed ``repro.telemetry/1``
+    records; ``trace`` a parsed Chrome trace object.  Any subset works.
+    """
+    metrics_dict = None
+    if metrics is not None:
+        metrics_dict = (
+            metrics.to_dict() if hasattr(metrics, "to_dict") else dict(metrics)
+        )
+    body_sections = []
+    if telemetry:
+        body_sections.append(_telemetry_sections(telemetry))
+    if metrics_dict:
+        body_sections.append(_metrics_sections(metrics_dict))
+    if trace:
+        body_sections.append(_trace_section(trace))
+    body = "".join(body_sections) or (
+        '<section class="viz-root"><p class="caption">No renderable data '
+        "in the supplied inputs.</p></section>"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>
+:root {{{_CSS_LIGHT}}}
+@media (prefers-color-scheme: dark) {{
+  :root:where(:not([data-theme="light"])) {{{_CSS_DARK}}}
+}}
+:root[data-theme="dark"] {{{_CSS_DARK}}}
+body {{
+  margin: 0; padding: 24px; background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}}
+h1 {{ font-size: 20px; margin: 0 0 4px; }}
+h2 {{ font-size: 15px; margin: 0 0 8px; color: var(--text-primary); }}
+.meta {{ margin: 4px 0 16px; }}
+.chip {{
+  display: inline-block; margin: 2px 6px 2px 0; padding: 2px 8px;
+  border: 1px solid var(--border); border-radius: 10px;
+  color: var(--text-secondary); font-size: 12px;
+}}
+.chip-key {{ color: var(--text-muted); }}
+section.viz-root {{
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin: 0 0 16px;
+  max-width: {_VIEW_W + 32}px;
+}}
+svg {{ width: 100%; height: auto; display: block; }}
+svg text {{ fill: var(--text-secondary); font-size: 11px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }}
+svg text.tick {{ fill: var(--text-muted); font-variant-numeric: tabular-nums; }}
+svg text.label {{ fill: var(--text-secondary); }}
+svg text.value {{ fill: var(--text-secondary);
+  font-variant-numeric: tabular-nums; }}
+.legend {{ margin: 0 0 8px; }}
+.key {{ margin-right: 12px; color: var(--text-secondary); font-size: 12px; }}
+.swatch {{
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 4px; vertical-align: -1px;
+}}
+.caption {{ color: var(--text-muted); font-size: 12px; margin: 6px 0 0; }}
+details {{ margin-top: 8px; }}
+summary {{ color: var(--text-muted); font-size: 12px; cursor: pointer; }}
+table {{ border-collapse: collapse; margin-top: 6px; font-size: 12px; }}
+th, td {{
+  text-align: left; padding: 3px 10px 3px 0;
+  border-bottom: 1px solid var(--gridline);
+  color: var(--text-secondary);
+}}
+th {{ color: var(--text-muted); font-weight: 600; }}
+td {{ font-variant-numeric: tabular-nums; }}
+</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+{_header_meta(metrics_dict, telemetry)}
+{body}
+</body>
+</html>
+"""
+
+
+def write_report(
+    path: str,
+    metrics=None,
+    telemetry: Optional[List[Dict[str, object]]] = None,
+    trace: Optional[Dict[str, object]] = None,
+    title: str = "repro run report",
+) -> None:
+    from repro.util.atomic import atomic_write_text
+
+    atomic_write_text(
+        path,
+        render_report(
+            metrics=metrics, telemetry=telemetry, trace=trace, title=title
+        ),
+    )

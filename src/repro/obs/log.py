@@ -1,0 +1,92 @@
+"""A tiny leveled logger for progress lines (``REPRO_LOG=debug|info|quiet``).
+
+The CLI and the sharded runtime used to announce progress with bare
+``print`` calls; under ``--workers N`` those interleave mid-line and
+cannot be silenced.  This module replaces them with one shared stderr
+logger:
+
+- the level comes from the ``REPRO_LOG`` environment variable
+  (``debug`` < ``info`` < ``quiet``; default ``info``), read at call
+  time so subprocesses inherit it for free;
+- each message is written as **one** ``write`` call, so concurrent
+  worker processes cannot interleave within a line;
+- a per-process *context* tag (``[shard 2] ``) prefixes every line —
+  workers set it once on startup and all their output becomes
+  attributable.
+
+Progress lines go to **stderr**: stdout stays reserved for results
+(tables, reports), which keeps ``repro ... > results.txt`` clean and is
+why tests asserting on command output never see progress chatter.
+
+Results and error messages keep using ``print``; this logger is only
+for the "Crawling 120 clients..." narration in between.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["LEVELS", "Log", "get_log", "log_level", "set_context"]
+
+#: Recognised ``REPRO_LOG`` values, most verbose first.
+LEVELS = {"debug": 10, "info": 20, "quiet": 100}
+
+_DEFAULT_LEVEL = "info"
+
+#: Process-wide context tag (e.g. ``shard 2``), prefixed to every line.
+_context: Optional[str] = None
+
+
+def log_level() -> int:
+    """The active threshold from ``REPRO_LOG`` (unknown values = info)."""
+    name = os.environ.get("REPRO_LOG", _DEFAULT_LEVEL).strip().lower()
+    return LEVELS.get(name, LEVELS[_DEFAULT_LEVEL])
+
+
+def set_context(tag: Optional[str]) -> None:
+    """Set (or clear) this process's line prefix, e.g. ``"shard 2"``.
+
+    Worker processes call this once on startup so every progress line
+    they emit is attributable; ``None`` clears it.
+    """
+    global _context
+    _context = tag
+
+
+class Log:
+    """A named logger; cheap enough to construct at every call site."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+
+    def _emit(self, threshold: int, message: str) -> None:
+        if log_level() > threshold:
+            return
+        prefix = f"[{_context}] " if _context else ""
+        stream = self.stream if self.stream is not None else sys.stderr
+        # One write per line: concurrent workers never interleave
+        # mid-line, whatever the stream's buffering.
+        stream.write(prefix + message + "\n")
+        try:
+            stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            pass
+
+    def debug(self, message: str) -> None:
+        self._emit(LEVELS["debug"], message)
+
+    def info(self, message: str) -> None:
+        self._emit(LEVELS["info"], message)
+
+
+#: The shared default logger (stderr, level from ``REPRO_LOG``).
+LOG = Log()
+
+
+def get_log() -> Log:
+    """The shared stderr logger (kept as a function for monkeypatching)."""
+    return LOG

@@ -1,0 +1,269 @@
+"""Process resource sampling: RSS, CPU, I/O and GC gauges over time.
+
+Long captures (the paper's crawl ran 56 days; ``Scale.HUGE`` runs for
+minutes across many processes) need the capture process itself watched:
+a wedged worker shows up as a flat CPU curve, a leak as a climbing RSS
+curve, long before any end-of-run metric exists.  A
+:class:`ResourceSampler` is a daemon thread that reads
+``/proc/self/{statm,stat,io}`` plus :mod:`gc` counters every
+``interval_s`` into a bounded in-memory series of timestamped
+:class:`ResourceSample` gauges.
+
+Portability: everything degrades gracefully without psutil (which this
+repo does not depend on) and without ``/proc`` —
+:func:`read_resource_sample` falls back to ``resource.getrusage`` for
+RSS/CPU and reports zero for the I/O counters it cannot see, so the
+sampler runs (and the telemetry schema stays identical) on any
+platform.
+
+Determinism contract: sampling never draws randomness and never feeds
+back into simulation state — it only *reads* process accounting — so a
+seeded run is byte-identical with sampling on or off.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ResourceSample",
+    "ResourceSampler",
+    "read_resource_sample",
+]
+
+try:  # pragma: no cover - exercised per-platform
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+    _CLK_TCK = os.sysconf("SC_CLK_TCK")
+except (ValueError, OSError, AttributeError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+    _CLK_TCK = 100
+
+
+@dataclass
+class ResourceSample:
+    """One point-in-time reading of this process's resource accounting."""
+
+    rss_bytes: int = 0
+    vms_bytes: int = 0
+    cpu_user_s: float = 0.0
+    cpu_system_s: float = 0.0
+    io_read_bytes: int = 0
+    io_write_bytes: int = 0
+    gc_collections: int = 0
+    gc_collected: int = 0
+
+    @property
+    def cpu_s(self) -> float:
+        return self.cpu_user_s + self.cpu_system_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat JSON-ready mapping (the telemetry snapshot's ``resource``)."""
+        return {
+            "rss_bytes": float(self.rss_bytes),
+            "vms_bytes": float(self.vms_bytes),
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_system_s": self.cpu_system_s,
+            "io_read_bytes": float(self.io_read_bytes),
+            "io_write_bytes": float(self.io_write_bytes),
+            "gc_collections": float(self.gc_collections),
+            "gc_collected": float(self.gc_collected),
+        }
+
+
+def _read_proc_statm() -> Optional[Tuple[int, int]]:
+    """(rss_bytes, vms_bytes) from ``/proc/self/statm``, or None."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE, int(fields[0]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _read_proc_stat() -> Optional[Tuple[float, float]]:
+    """(cpu_user_s, cpu_system_s) from ``/proc/self/stat``, or None."""
+    try:
+        with open("/proc/self/stat", "r", encoding="ascii") as fh:
+            text = fh.read()
+        # The comm field is parenthesised and may contain spaces; fields
+        # are positional only after the closing paren.
+        fields = text[text.rindex(")") + 2 :].split()
+        # Fields 14/15 of stat are utime/stime; after stripping pid+comm
+        # +state the indices shift down by three.
+        return int(fields[11]) / _CLK_TCK, int(fields[12]) / _CLK_TCK
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _read_proc_io() -> Optional[Tuple[int, int]]:
+    """(read_bytes, write_bytes) from ``/proc/self/io``, or None.
+
+    ``/proc/self/io`` needs CONFIG_TASK_IO_ACCOUNTING and can be
+    permission-restricted even for self; absence degrades to zeros.
+    """
+    try:
+        values = {}
+        with open("/proc/self/io", "r", encoding="ascii") as fh:
+            for line in fh:
+                key, _, value = line.partition(":")
+                values[key.strip()] = int(value)
+        return values["read_bytes"], values["write_bytes"]
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def _rusage_fallback() -> Tuple[int, float, float]:
+    """(rss_bytes, cpu_user_s, cpu_system_s) without ``/proc``."""
+    try:
+        import resource as _resource
+
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; both are an upper
+        # bound on current RSS, which is the honest portable answer.
+        scale = 1 if os.uname().sysname == "Darwin" else 1024
+        return int(usage.ru_maxrss) * scale, usage.ru_utime, usage.ru_stime
+    except (ImportError, AttributeError, OSError):  # pragma: no cover
+        return 0, 0.0, 0.0
+
+
+def read_resource_sample() -> ResourceSample:
+    """One synchronous resource reading (never raises, never blocks)."""
+    sample = ResourceSample()
+    statm = _read_proc_statm()
+    stat = _read_proc_stat()
+    if statm is not None:
+        sample.rss_bytes, sample.vms_bytes = statm
+    if stat is not None:
+        sample.cpu_user_s, sample.cpu_system_s = stat
+    if statm is None or stat is None:
+        rss, user, system = _rusage_fallback()
+        if statm is None:
+            sample.rss_bytes = rss
+        if stat is None:
+            sample.cpu_user_s, sample.cpu_system_s = user, system
+    io = _read_proc_io()
+    if io is not None:
+        sample.io_read_bytes, sample.io_write_bytes = io
+    stats = gc.get_stats()
+    sample.gc_collections = sum(int(s.get("collections", 0)) for s in stats)
+    sample.gc_collected = sum(int(s.get("collected", 0)) for s in stats)
+    return sample
+
+
+#: Default series bound: at 1 Hz this is over an hour of samples, and the
+#: telemetry file (not this buffer) is the durable record anyway.
+DEFAULT_MAX_SAMPLES = 4096
+
+
+class ResourceSampler:
+    """Background thread recording a bounded (t, sample) gauge series.
+
+    ``clock`` stamps samples (monotonic by default, so series from
+    different processes on the same host share a timeline).  The series
+    keeps the newest :data:`DEFAULT_MAX_SAMPLES` points; ``cpu_percent``
+    is derived between consecutive samples.  ``sample_now()`` works with
+    or without the thread running — the telemetry recorder uses it to
+    guarantee a fresh reading per snapshot even at sub-interval rates.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be > 0, got {max_samples}")
+        self.interval_s = interval_s
+        self.clock = clock
+        self.max_samples = max_samples
+        self._series: List[Tuple[float, ResourceSample]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Sampling
+
+    def sample_now(self) -> ResourceSample:
+        """Take (and record) one sample immediately."""
+        sample = read_resource_sample()
+        now = self.clock()
+        with self._lock:
+            self._series.append((now, sample))
+            if len(self._series) > self.max_samples:
+                del self._series[0 : len(self._series) - self.max_samples]
+        return sample
+
+    def latest(self) -> Optional[ResourceSample]:
+        with self._lock:
+            return self._series[-1][1] if self._series else None
+
+    def series(self) -> List[Tuple[float, ResourceSample]]:
+        """A snapshot copy of the recorded (t, sample) series."""
+        with self._lock:
+            return list(self._series)
+
+    def cpu_percent(self) -> float:
+        """CPU utilisation between the two most recent samples (0 first)."""
+        with self._lock:
+            if len(self._series) < 2:
+                return 0.0
+            (t0, s0), (t1, s1) = self._series[-2], self._series[-1]
+        dt = t1 - t0
+        if dt <= 0:
+            return 0.0
+        return max(0.0, 100.0 * (s1.cpu_s - s0.cpu_s) / dt)
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        # First sample immediately, so even a short-lived process has one.
+        self.sample_now()
+        while not self._stop.wait(self.interval_s):
+            self.sample_now()
+
+    def stop(self) -> None:
+        """Stop the thread (idempotent); the series stays readable."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def summary_gauges(self, prefix: str = "resource/") -> Dict[str, float]:
+        """Peak/total gauges for folding into an Observer at shutdown."""
+        series = self.series()
+        if not series:
+            return {}
+        last = series[-1][1]
+        return {
+            prefix + "rss_max_bytes": float(
+                max(s.rss_bytes for _, s in series)
+            ),
+            prefix + "rss_last_bytes": float(last.rss_bytes),
+            prefix + "cpu_user_s": last.cpu_user_s,
+            prefix + "cpu_system_s": last.cpu_system_s,
+            prefix + "io_read_bytes": float(last.io_read_bytes),
+            prefix + "io_write_bytes": float(last.io_write_bytes),
+            prefix + "gc_collections": float(last.gc_collections),
+            prefix + "samples": float(len(series)),
+        }

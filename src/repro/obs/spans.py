@@ -257,7 +257,12 @@ class Observer:
     # ------------------------------------------------------------------
     # Merging (sharded runs)
 
-    def merge_from(self, other: "Observer") -> None:
+    def merge_from(
+        self,
+        other: "Observer",
+        tracer_pid: Optional[int] = None,
+        tracer_process_name: Optional[str] = None,
+    ) -> None:
         """Fold another observer's aggregates into this one.
 
         The sharded runner gives each worker its own Observer and folds
@@ -265,9 +270,21 @@ class Observer:
         histograms are commutative sums, while gauges are last-write —
         the caller's merge order decides which write wins, matching the
         sequential run when workers are folded in submission order.
+
+        ``other`` must have no open spans: a half-open span has not been
+        aggregated yet, so merging would silently drop it — that is a
+        caller bug and raises ``ValueError``.  (Open spans on *self* are
+        fine; its stack is untouched.)  If both observers carry tracers,
+        ``other``'s events are folded onto this timeline too, labelled
+        with ``tracer_pid``/``tracer_process_name``.
         """
         if not self.enabled:
             return
+        if other._stack:
+            raise ValueError(
+                "cannot merge an observer with open spans: "
+                + "/".join(other._stack)
+            )
         for path, stat in other.span_stats.items():
             mine = self._stat_for(path)
             mine.count += stat.count
@@ -286,6 +303,16 @@ class Observer:
                 self.histograms[name] = Histogram.from_dict(hist.as_dict())
             else:
                 mine_hist.merge(hist)
+        if (
+            self.tracer is not None
+            and other.tracer is not None
+            and other.tracer is not self.tracer
+        ):
+            self.tracer.merge_from(
+                other.tracer,
+                pid=tracer_pid,
+                process_name=tracer_process_name,
+            )
 
     # ------------------------------------------------------------------
     # Reporting

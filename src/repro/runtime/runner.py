@@ -198,6 +198,7 @@ class Runner:
         results_dir="results",
         force: bool = False,
         write_metrics: bool = False,
+        telemetry=None,
     ) -> None:
         self.ctx = ctx if ctx is not None else RunContext()
         self.results_dir = Path(results_dir)
@@ -206,6 +207,10 @@ class Runner:
         #: observability blob as ``<name>.metrics.json`` next to the
         #: manifest (which records the filename in ``metrics_file``).
         self.write_metrics = write_metrics
+        #: Optional :class:`~repro.obs.telemetry.TelemetrySpec`: each
+        #: executed experiment flight-records into the shared JSONL,
+        #: ``source``-tagged with its name.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Paths and hashing
@@ -250,9 +255,32 @@ class Runner:
         # unchanged whether or not the ambient context observed anything.
         run_obs = Observer()
         run_ctx = self.ctx.derive(obs=run_obs)
+        recorder = None
+        if self.telemetry is not None:
+            from repro.obs.telemetry import FlightRecorder
+
+            recorder = FlightRecorder(
+                self.telemetry.path,
+                run_obs,
+                interval_s=self.telemetry.interval_s,
+                source=spec.name,
+                run={
+                    "experiment": spec.name,
+                    "seed": self.ctx.seed,
+                    "scale": self.ctx.scale.value,
+                },
+            ).start()
+        outcome = "completed"
         start = time.perf_counter()
-        with run_obs.span(f"experiment/{spec.name}"):
-            result = spec.run(ctx=run_ctx, **overrides)
+        try:
+            with run_obs.span(f"experiment/{spec.name}"):
+                result = spec.run(ctx=run_ctx, **overrides)
+        except BaseException:
+            outcome = "failed"
+            raise
+        finally:
+            if recorder is not None:
+                recorder.close(outcome)
         wall = time.perf_counter() - start
         report: RunMetrics = run_obs.report(
             run={

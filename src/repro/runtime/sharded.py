@@ -57,7 +57,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.edonkey.crawler import Crawler, CrawlerConfig, CrawlStats
 from repro.edonkey.messages import BrowseRequest
-from repro.obs import NULL_OBSERVER, Observer
+from repro.obs import NULL_OBSERVER, Observer, TraceRecorder
+from repro.obs.telemetry import TelemetrySpec
 from repro.trace.model import ClientMeta, FileMeta, Trace
 
 __all__ = [
@@ -81,11 +82,17 @@ class ShardedRunner:
     scheduling, which is what makes results worker-count-invariant.
     """
 
-    def __init__(self, workers: int, obs=NULL_OBSERVER) -> None:
+    def __init__(
+        self,
+        workers: int,
+        obs=NULL_OBSERVER,
+        telemetry: Optional[TelemetrySpec] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.obs = obs
+        self.telemetry = telemetry
 
     def shard_of(self, client_id: int) -> int:
         return client_id % self.workers
@@ -97,6 +104,7 @@ class ShardedRunner:
             workers=self.workers,
             obs=self.obs,
             span_names=span_names,
+            telemetry=self.telemetry,
         )
 
     def crawl(
@@ -117,6 +125,7 @@ class ShardedRunner:
             days=days,
             store_dir=store_dir,
             stream=stream,
+            telemetry=self.telemetry,
         )
 
     def run_experiments(
@@ -138,6 +147,7 @@ class ShardedRunner:
             force=force,
             write_metrics=write_metrics,
             on_outcome=on_outcome,
+            telemetry=self.telemetry,
         )
 
 
@@ -145,14 +155,47 @@ class ShardedRunner:
 # Sharded search
 
 
-def _search_worker(handle, config, span_name: str, want_obs: bool):
+def _search_worker(
+    handle,
+    config,
+    span_name: str,
+    want_obs: bool,
+    index: int,
+    want_trace: bool = False,
+    telemetry: Optional[TelemetrySpec] = None,
+):
     """Attach the shared columns and run one seeded simulation."""
     from repro.core.search import SearchSimulator
+    from repro.obs.log import set_context
+    from repro.obs.telemetry import FlightRecorder
 
-    obs = Observer() if want_obs else NULL_OBSERVER
-    with handle.attach() as compiled:
-        with obs.span(span_name):
-            result = SearchSimulator(compiled, config, obs=obs).run()
+    source = f"shard {index}"
+    set_context(source)
+    tracer = (
+        TraceRecorder(pid=index + 2, process_name=source)
+        if (want_obs and want_trace)
+        else None
+    )
+    obs = Observer(tracer=tracer) if want_obs else NULL_OBSERVER
+    recorder = None
+    if telemetry is not None and want_obs:
+        recorder = FlightRecorder(
+            telemetry.path,
+            obs,
+            interval_s=telemetry.interval_s,
+            source=source,
+        ).start()
+    outcome = "completed"
+    try:
+        with handle.attach() as compiled:
+            with obs.span(span_name):
+                result = SearchSimulator(compiled, config, obs=obs).run()
+    except BaseException:
+        outcome = "failed"
+        raise
+    finally:
+        if recorder is not None:
+            recorder.close(outcome)
     return result, (obs if want_obs else None)
 
 
@@ -162,6 +205,7 @@ def sharded_search(
     workers: int,
     obs=NULL_OBSERVER,
     span_names: Optional[Sequence[str]] = None,
+    telemetry: Optional[TelemetrySpec] = None,
 ):
     """Run one :class:`SearchConfig` per worker over shared trace columns.
 
@@ -169,20 +213,33 @@ def sharded_search(
     Worker observers are folded back into ``obs`` in that same order, so
     counters, histograms and last-write gauges match a sequential loop
     exactly (span timings differ — they measure different processes).
+    If ``obs`` carries a tracer, each worker records its own ring and
+    the merge lays them out as per-worker process tracks; with a
+    ``telemetry`` spec each worker flight-records into the shared JSONL.
     """
     from repro.trace.shm import export_compiled
 
     if span_names is None:
         span_names = [f"search[{i}]" for i in range(len(configs))]
+    want_trace = obs.tracer is not None
     compiled = static.compiled() if not hasattr(static, "cache_offsets") else static
     export = export_compiled(compiled)
     try:
         with _pool(workers) as pool:
             futures = [
                 pool.submit(
-                    _search_worker, export.handle, config, name, obs.enabled
+                    _search_worker,
+                    export.handle,
+                    config,
+                    name,
+                    obs.enabled,
+                    index,
+                    want_trace,
+                    telemetry,
                 )
-                for config, name in zip(configs, span_names)
+                for index, (config, name) in enumerate(
+                    zip(configs, span_names)
+                )
             ]
             pairs = [future.result() for future in futures]
     finally:
@@ -284,26 +341,78 @@ def _crawl_worker(
     num_shards: int,
     spool_path: str,
     want_obs: bool,
+    want_trace: bool = False,
+    telemetry: Optional[TelemetrySpec] = None,
 ):
-    """Run one shard's crawl; returns (stats, worker-0 observer or None)."""
-    from repro.edonkey.network import build_network
+    """Run one shard's crawl.
 
-    obs = Observer() if (want_obs and shard == 0) else NULL_OBSERVER
-    network = build_network(network_config, seed=seed, obs=obs)
-    crawler = _ShardCrawler(
-        network,
-        crawler_config,
-        seed=seed,
-        obs=obs,
-        shard=shard,
-        num_shards=num_shards,
-        spool_path=spool_path,
+    Returns ``(stats, observer, tracer, resource_gauges)``: the observer
+    only from shard 0 (every shard replays the same discovery work, so
+    merging all of them would double-count), the tracer and resource
+    gauges from *every* shard when tracing/telemetry is on — span events
+    and RSS/CPU peaks are genuinely per-process and the coordinator
+    attributes them to their shard.
+    """
+    from repro.edonkey.network import build_network
+    from repro.obs.log import set_context
+    from repro.obs.telemetry import FlightRecorder
+
+    source = f"shard {shard}"
+    set_context(source)
+    is_primary = shard == 0
+    # Non-primary shards only need a live observer when something reads
+    # it (a tracer track or a flight recorder); otherwise keep the old
+    # near-free NULL_OBSERVER path.
+    need_obs = want_obs and (
+        is_primary or want_trace or telemetry is not None
     )
+    tracer = (
+        TraceRecorder(pid=shard + 2, process_name=source)
+        if (want_obs and want_trace)
+        else None
+    )
+    obs = Observer(tracer=tracer) if need_obs else NULL_OBSERVER
+    recorder = None
+    if telemetry is not None and want_obs:
+        recorder = FlightRecorder(
+            telemetry.path,
+            obs,
+            interval_s=telemetry.interval_s,
+            source=source,
+        ).start()
+    outcome = "completed"
     try:
-        crawler.crawl(days=days)
+        network = build_network(network_config, seed=seed, obs=obs)
+        crawler = _ShardCrawler(
+            network,
+            crawler_config,
+            seed=seed,
+            obs=obs,
+            shard=shard,
+            num_shards=num_shards,
+            spool_path=spool_path,
+        )
+        try:
+            crawler.crawl(days=days)
+        finally:
+            crawler.close_spool()
+    except BaseException:
+        outcome = "failed"
+        raise
     finally:
-        crawler.close_spool()
-    return crawler.stats, (obs if obs.enabled else None)
+        if recorder is not None:
+            recorder.close(outcome)
+    resource_gauges = {
+        name: value
+        for name, value in obs.gauges.items()
+        if name.startswith("resource/")
+    }
+    return (
+        crawler.stats,
+        (obs if (want_obs and is_primary) else None),
+        (tracer if (tracer is not None and not is_primary) else None),
+        resource_gauges,
+    )
 
 
 @dataclass
@@ -324,6 +433,7 @@ def sharded_crawl(
     days: Optional[int] = None,
     store_dir: Optional[str] = None,
     stream: bool = False,
+    telemetry: Optional[TelemetrySpec] = None,
 ) -> ShardedCrawlResult:
     """Crawl with ``workers`` client shards; byte-identical merged trace.
 
@@ -352,6 +462,7 @@ def sharded_crawl(
         os.path.join(spool_dir, f"shard-{shard}.spool")
         for shard in range(workers)
     ]
+    want_trace = obs.tracer is not None
     try:
         with _pool(workers) as pool:
             futures = [
@@ -365,11 +476,13 @@ def sharded_crawl(
                     workers,
                     spool_paths[shard],
                     obs.enabled,
+                    want_trace,
+                    telemetry,
                 )
                 for shard in range(workers)
             ]
             outcomes = [future.result() for future in futures]
-        shard_stats = [stats for stats, _ in outcomes]
+        shard_stats = [stats for stats, _obs, _tracer, _gauges in outcomes]
         worker0_obs = outcomes[0][1]
         merged = _merge_crawl(
             spool_paths,
@@ -380,6 +493,12 @@ def sharded_crawl(
         )
         if obs.enabled and worker0_obs is not None:
             _fold_crawl_metrics(obs, worker0_obs, shard_stats[0], merged.stats)
+        if obs.enabled:
+            for _stats, _wobs, worker_tracer, gauges in outcomes:
+                if worker_tracer is not None and obs.tracer is not None:
+                    obs.tracer.merge_from(worker_tracer)
+                for name, value in gauges.items():
+                    obs.gauge(name, value)
         return merged
     finally:
         for path in spool_paths:
@@ -525,18 +644,22 @@ def _run_all_worker(
     force: bool,
     write_metrics: bool,
     name: str,
+    telemetry: Optional[TelemetrySpec] = None,
 ):
     """Run one experiment in its own process; return a slim outcome."""
+    from repro.obs.log import set_context
     from repro.runtime import RunContext, Runner, Scale
     from repro.runtime.registry import load_all
     from repro.runtime.runner import RunOutcome
 
+    set_context(name)
     load_all()
     runner = Runner(
         ctx=RunContext(seed=seed, scale=Scale(scale_value)),
         results_dir=results_dir,
         force=force,
         write_metrics=write_metrics,
+        telemetry=telemetry,
     )
     try:
         outcome = runner.run(name)
@@ -557,6 +680,7 @@ def run_experiments_parallel(
     force: bool = False,
     write_metrics: bool = False,
     on_outcome=None,
+    telemetry: Optional[TelemetrySpec] = None,
 ):
     """``Runner.run`` fan-out: one experiment per worker process.
 
@@ -574,6 +698,7 @@ def run_experiments_parallel(
                 force,
                 write_metrics,
                 name,
+                telemetry,
             )
             for name in names
         ]

@@ -1,0 +1,111 @@
+"""HTML run report: standalone output, section selection, escaping."""
+
+import json
+
+from repro.obs import Observer
+from repro.obs.htmlreport import render_report, write_report
+
+
+def _telemetry_records():
+    return [
+        {"schema": "repro.telemetry/1", "kind": "start", "ts": 1.0,
+         "mono_s": 10.0, "source": "main", "pid": 1, "interval_s": 1.0,
+         "run": {"experiment": "replica_dist"}},
+        {"schema": "repro.telemetry/1", "kind": "snapshot", "seq": 0,
+         "ts": 1.0, "mono_s": 10.0, "source": "main", "pid": 1,
+         "heartbeat_s": 0.0, "progress": {"days_done": 1.0},
+         "resource": {"rss_bytes": 1e7, "cpu_user_s": 0.1,
+                      "cpu_system_s": 0.0},
+         "top_spans": [["crawl", 1, 0.5]]},
+        {"schema": "repro.telemetry/1", "kind": "end", "seq": 1, "ts": 2.0,
+         "mono_s": 11.0, "source": "main", "pid": 1, "heartbeat_s": 1.0,
+         "progress": {"days_done": 3.0},
+         "resource": {"rss_bytes": 2e7, "cpu_user_s": 0.4,
+                      "cpu_system_s": 0.1},
+         "top_spans": [], "outcome": "completed"},
+    ]
+
+
+def _metrics():
+    obs = Observer()
+    with obs.span("crawl"):
+        pass
+    obs.hist("search/hops", 2.0, bounds=(1.0, 2.0, 4.0))
+    return obs.report(run={"command": "crawl", "seed": 42})
+
+
+def test_report_is_standalone_html():
+    html = render_report(metrics=_metrics(), telemetry=_telemetry_records())
+    assert html.startswith("<!DOCTYPE html>")
+    assert "</html>" in html
+    # No network assets of any kind.
+    for needle in ("http://", "https://", "<script", "@import", "url("):
+        assert needle not in html, needle
+    # Light and dark schemes are both defined.
+    assert "prefers-color-scheme: dark" in html
+    assert "color-scheme: light" in html
+
+
+def test_sections_follow_inputs():
+    only_metrics = render_report(metrics=_metrics())
+    assert "Top spans" in only_metrics
+    assert "Histogram percentiles" in only_metrics
+    assert "Resident set size" not in only_metrics
+
+    only_telemetry = render_report(telemetry=_telemetry_records())
+    assert "Resident set size" in only_telemetry
+    assert "Run outcome" in only_telemetry
+    assert "Top spans by total time" not in only_telemetry
+
+    neither = render_report()
+    assert "No renderable data" in neither
+
+
+def test_trace_section_lanes_per_process():
+    trace = {"traceEvents": [
+        {"ph": "M", "name": "process_name", "pid": 1,
+         "args": {"name": "repro"}},
+        {"ph": "M", "name": "process_name", "pid": 2,
+         "args": {"name": "shard 0"}},
+        {"ph": "X", "name": "crawl/day", "pid": 1, "tid": 1,
+         "ts": 0.0, "dur": 5000.0},
+        {"ph": "X", "name": "crawl/day", "pid": 2, "tid": 1,
+         "ts": 1000.0, "dur": 2000.0},
+    ]}
+    html = render_report(trace=trace)
+    assert "Trace timeline" in html
+    assert "shard 0" in html and "repro" in html
+
+
+def test_titles_and_names_are_escaped():
+    html = render_report(
+        telemetry=[{"schema": "repro.telemetry/1", "kind": "start",
+                    "ts": 1.0, "mono_s": 1.0,
+                    "source": "<script>alert(1)</script>", "pid": 1,
+                    "interval_s": 1.0, "run": {}}],
+        title="<b>bold</b>",
+    )
+    assert "<script>alert(1)</script>" not in html
+    assert "<b>bold</b>" not in html
+    assert "&lt;b&gt;bold&lt;/b&gt;" in html
+
+
+def test_every_chart_has_table_view_and_tooltips():
+    html = render_report(metrics=_metrics(), telemetry=_telemetry_records())
+    assert "<table>" in html
+    assert "<title>" in html  # SVG hover tooltips
+    assert 'role="img"' in html
+
+
+def test_write_report(tmp_path):
+    path = str(tmp_path / "report.html")
+    write_report(path, telemetry=_telemetry_records(), title="t")
+    with open(path, "r", encoding="utf-8") as fh:
+        content = fh.read()
+    assert content.startswith("<!DOCTYPE html>")
+
+
+def test_metrics_accepts_plain_dict():
+    payload = _metrics().to_dict()
+    html = render_report(metrics=json.loads(json.dumps(payload)))
+    assert "Top spans" in html

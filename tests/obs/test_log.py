@@ -1,0 +1,70 @@
+"""The leveled stderr logger behind REPRO_LOG."""
+
+import io
+
+from repro.obs.log import LEVELS, Log, log_level, set_context
+
+
+def test_levels_ordering():
+    assert LEVELS["debug"] < LEVELS["info"] < LEVELS["quiet"]
+
+
+def test_log_level_reads_env_at_call_time(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    assert log_level() == LEVELS["info"]
+    monkeypatch.setenv("REPRO_LOG", "debug")
+    assert log_level() == LEVELS["debug"]
+    monkeypatch.setenv("REPRO_LOG", "quiet")
+    assert log_level() == LEVELS["quiet"]
+    monkeypatch.setenv("REPRO_LOG", "bogus")
+    assert log_level() == LEVELS["info"], "unknown level falls back to info"
+
+
+def test_info_suppressed_under_quiet(monkeypatch):
+    stream = io.StringIO()
+    log = Log(stream=stream)
+    monkeypatch.setenv("REPRO_LOG", "quiet")
+    log.info("hidden")
+    log.debug("hidden too")
+    assert stream.getvalue() == ""
+
+
+def test_debug_only_at_debug_level(monkeypatch):
+    stream = io.StringIO()
+    log = Log(stream=stream)
+    monkeypatch.setenv("REPRO_LOG", "info")
+    log.debug("hidden")
+    log.info("shown")
+    assert stream.getvalue() == "shown\n"
+    monkeypatch.setenv("REPRO_LOG", "debug")
+    log.debug("now shown")
+    assert stream.getvalue() == "shown\nnow shown\n"
+
+
+def test_context_prefix(monkeypatch):
+    stream = io.StringIO()
+    log = Log(stream=stream)
+    monkeypatch.setenv("REPRO_LOG", "info")
+    set_context("shard 2")
+    try:
+        log.info("working")
+    finally:
+        set_context(None)
+    assert stream.getvalue() == "[shard 2] working\n"
+    log.info("after clear")
+    assert stream.getvalue().endswith("after clear\n")
+    assert "[shard 2] after clear" not in stream.getvalue()
+
+
+def test_single_write_per_line(monkeypatch):
+    writes = []
+
+    class Recorder(io.StringIO):
+        def write(self, text):
+            writes.append(text)
+            return super().write(text)
+
+    monkeypatch.setenv("REPRO_LOG", "info")
+    log = Log(stream=Recorder())
+    log.info("one line")
+    assert writes == ["one line\n"], "prefix+message+newline must be one write"

@@ -1,0 +1,102 @@
+"""Resource sampler: /proc readers, fallback, and the sampling thread."""
+
+import time
+
+import pytest
+
+from repro.obs.resource import (
+    DEFAULT_MAX_SAMPLES,
+    ResourceSample,
+    ResourceSampler,
+    read_resource_sample,
+)
+
+
+def test_read_resource_sample_never_raises():
+    sample = read_resource_sample()
+    assert isinstance(sample, ResourceSample)
+    # A live Python process certainly occupies memory and has burned CPU.
+    assert sample.rss_bytes > 0
+    assert sample.cpu_s >= 0.0
+
+
+def test_sample_as_dict_all_float():
+    sample = read_resource_sample()
+    payload = sample.as_dict()
+    assert payload, "empty sample dict"
+    assert all(isinstance(v, float) for v in payload.values()), payload
+    assert "rss_bytes" in payload
+
+
+def test_sample_now_appends_series():
+    sampler = ResourceSampler(interval_s=0.01)
+    assert sampler.latest() is None
+    sampler.sample_now()
+    sampler.sample_now()
+    series = sampler.series()
+    assert len(series) == 2
+    ts0, _s0 = series[0]
+    ts1, _s1 = series[1]
+    assert ts1 >= ts0
+    assert sampler.latest() is series[-1][1]
+
+
+def test_sampler_thread_collects_and_stops():
+    sampler = ResourceSampler(interval_s=0.01)
+    sampler.start()
+    try:
+        deadline = time.monotonic() + 2.0
+        while len(sampler.series()) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+    finally:
+        sampler.stop()
+    assert len(sampler.series()) >= 3
+    count = len(sampler.series())
+    time.sleep(0.05)
+    assert len(sampler.series()) == count, "sampler kept running after stop"
+
+
+def test_sampler_bounded_memory():
+    sampler = ResourceSampler(interval_s=0.01, max_samples=4)
+    for _ in range(10):
+        sampler.sample_now()
+    assert len(sampler.series()) == 4
+    assert sampler.series()[-1][1] is sampler.latest()
+    assert DEFAULT_MAX_SAMPLES >= 1024
+
+
+def test_summary_gauges_shape():
+    sampler = ResourceSampler(interval_s=0.01)
+    sampler.sample_now()
+    gauges = sampler.summary_gauges(prefix="resource/")
+    assert gauges["resource/samples"] == 1.0
+    assert gauges["resource/rss_max_bytes"] > 0
+    assert set(gauges) == {
+        "resource/rss_max_bytes",
+        "resource/rss_last_bytes",
+        "resource/cpu_user_s",
+        "resource/cpu_system_s",
+        "resource/io_read_bytes",
+        "resource/io_write_bytes",
+        "resource/gc_collections",
+        "resource/samples",
+    }
+
+
+def test_summary_gauges_empty_without_samples():
+    sampler = ResourceSampler()
+    assert sampler.summary_gauges() == {}
+
+
+def test_cpu_percent_requires_two_samples():
+    clock_values = iter([0.0, 1.0])
+    sampler = ResourceSampler(clock=lambda: next(clock_values))
+    sampler.sample_now()
+    assert sampler.cpu_percent() == 0.0
+    sampler.sample_now()
+    assert sampler.cpu_percent() >= 0.0
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        ResourceSampler(interval_s=0.0)

@@ -151,6 +151,84 @@ class TestCrawlInvariance:
             assert not mismatch, f"{label}: segments differ: {mismatch}"
 
 
+class TestShardedTelemetry:
+    def test_every_worker_appends_to_the_shared_file(self, tmp_path):
+        """A sharded crawl telemeters from the coordinator *and* every
+        worker, all into one JSONL, each line tagged with its source."""
+        telemetry = tmp_path / "run.jsonl"
+        _cli(
+            "crawl", "--seed", "7", "--clients", "120", "--days", "3",
+            "--workers", "2",
+            "--telemetry-out", str(telemetry),
+            "--telemetry-interval", "0.05",
+        )
+        from repro.obs.telemetry import read_telemetry, validate_telemetry
+
+        assert validate_telemetry(str(telemetry)) == []
+        records, _truncated = read_telemetry(str(telemetry))
+        by_source = {}
+        for record in records:
+            by_source.setdefault(record["source"], []).append(record)
+        assert set(by_source) == {"main", "shard 0", "shard 1"}
+        for source, recs in by_source.items():
+            kinds = [r["kind"] for r in recs]
+            assert kinds[0] == "start", source
+            assert kinds[-1] == "end", source
+            assert recs[-1]["outcome"] == "completed", source
+        # Workers run in separate processes: distinct pids in the file.
+        assert len({r["pid"] for r in records}) == 3
+
+    def test_telemetry_leaves_artifacts_identical(self, tmp_path):
+        """Telemetry on vs off: byte-identical trace, equal metrics."""
+        plain_trace = tmp_path / "plain.json"
+        telem_trace = tmp_path / "telem.json"
+        plain_metrics = tmp_path / "plain-metrics.json"
+        telem_metrics = tmp_path / "telem-metrics.json"
+        _cli(
+            "crawl", "--seed", "7", "--clients", "120", "--days", "3",
+            "--workers", "2", "--output", str(plain_trace),
+            "--metrics-out", str(plain_metrics),
+        )
+        _cli(
+            "crawl", "--seed", "7", "--clients", "120", "--days", "3",
+            "--workers", "2", "--output", str(telem_trace),
+            "--metrics-out", str(telem_metrics),
+            "--telemetry-out", str(tmp_path / "t.jsonl"),
+        )
+        assert filecmp.cmp(plain_trace, telem_trace, shallow=False)
+        plain = json.loads(plain_metrics.read_text())
+        telem = json.loads(telem_metrics.read_text())
+        assert plain["counters"] == telem["counters"]
+        # Telemetry adds only its own resource/* gauges; everything the
+        # simulation wrote is unchanged.
+        deterministic = {
+            k: v for k, v in telem["gauges"].items()
+            if not k.startswith("resource/")
+        }
+        assert deterministic == plain["gauges"]
+
+    def test_sharded_trace_out_has_per_worker_lanes(self, tmp_path):
+        """--trace-out under --workers merges worker events onto one
+        timeline with per-process lanes (ph:M process_name metadata)."""
+        trace_path = tmp_path / "trace.json"
+        _cli(
+            "crawl", "--seed", "7", "--clients", "120", "--days", "3",
+            "--workers", "2",
+            "--output", str(tmp_path / "out.jsonl.gz"),
+            "--trace-out", str(trace_path),
+        )
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert {"repro", "shard 0", "shard 1"} <= names
+        span_pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert len(span_pids) >= 2, "no worker events on the timeline"
+
+
 class TestSequentialOnlyGuards:
     @pytest.mark.parametrize(
         "flags",
