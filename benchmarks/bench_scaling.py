@@ -51,12 +51,24 @@ WORKER_COUNTS = (1, 2, 4)
 LIST_SIZES = (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48)
 
 #: Modules every store/CLI tool imports; they must not drag numpy in.
+#: The message-plane layers (wire codec, transport seam, protocol
+#: handlers) ride on the CLI path too, so they sit under the same gate
+#: — and they must not pull in asyncio either (only the service package
+#: may, and the CLI imports that lazily inside cmd_serve/cmd_loadgen).
 BASELINE_MODULES = (
     "repro.cli",
     "repro.trace.store",
     "repro.trace.shm",
     "repro.runtime",
+    "repro.edonkey.wire",
+    "repro.edonkey.transport",
+    "repro.edonkey.protocol",
 )
+
+#: Imported *after* the asyncio-free check: service mode legitimately
+#: needs asyncio, but even with it loaded the baseline must stay
+#: numpy-free and under the RSS ceiling.
+SERVICE_MODULES = ("repro.service",)
 RSS_CEILING_MB = 64.0
 
 #: Weak-scaling crawl size per worker, by scale.
@@ -89,11 +101,18 @@ def _best_of(repeat, fn):
 
 
 def check_import_baseline() -> dict:
-    """Fresh-interpreter import check: numpy-free and RSS-bounded."""
+    """Fresh-interpreter import check: numpy-free, asyncio-lazy, RSS-bounded.
+
+    Two stages in one subprocess: after the baseline (CLI-path) modules,
+    asyncio must be absent; after the service package joins them, numpy
+    must still be absent and the peak RSS under the ceiling.
+    """
     script = (
         "import resource, sys\n"
         + "\n".join(f"import {module}" for module in BASELINE_MODULES)
-        + "\nprint(int('numpy' in sys.modules),"
+        + "\nasyncio_preloaded = int('asyncio' in sys.modules)\n"
+        + "\n".join(f"import {module}" for module in SERVICE_MODULES)
+        + "\nprint(int('numpy' in sys.modules), asyncio_preloaded,"
         " resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)\n"
     )
     result = subprocess.run(
@@ -103,10 +122,12 @@ def check_import_baseline() -> dict:
         check=True,
         env={**os.environ, "PYTHONPATH": "src"},
     )
-    numpy_flag, maxrss_kb = result.stdout.split()
+    numpy_flag, asyncio_flag, maxrss_kb = result.stdout.split()
     return {
         "modules": list(BASELINE_MODULES),
+        "service_modules": list(SERVICE_MODULES),
         "numpy_loaded": bool(int(numpy_flag)),
+        "asyncio_preloaded": bool(int(asyncio_flag)),
         "rss_mb": int(maxrss_kb) / 1024.0,
         "rss_ceiling_mb": RSS_CEILING_MB,
     }
@@ -231,6 +252,8 @@ def gate_failures(doc: dict) -> list:
     failures = []
     if doc["baseline"]["numpy_loaded"]:
         failures.append("lazy_imports")
+    if doc["baseline"].get("asyncio_preloaded"):
+        failures.append("eager_asyncio")
     if doc["baseline"]["rss_mb"] > doc["baseline"]["rss_ceiling_mb"]:
         failures.append("baseline_rss")
     gate = doc["speedup_gate"]

@@ -1294,6 +1294,127 @@ def _crawl_summary(
 
 
 # ----------------------------------------------------------------------
+# serve / loadgen (service mode)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.faults import FaultConfig
+    from repro.service import ServiceConfig, run_service
+
+    problem = _check_out_parents(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    if args.port_file:
+        parent = os.path.dirname(os.path.abspath(args.port_file))
+        if not os.path.isdir(parent):
+            print(
+                f"error: parent directory of --port-file does not exist: "
+                f"{parent}",
+                file=sys.stderr,
+            )
+            return 2
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        max_users=args.max_users,
+        reply_limit=args.reply_limit,
+        grace_s=args.grace,
+        faults=FaultConfig(
+            loss_rate=args.loss_rate,
+            slow_rate=args.slow_rate,
+            malformed_rate=args.malformed_rate,
+        ),
+    )
+    obs = _observer(args)
+    run_info = {"command": "serve", "seed": args.seed, "host": args.host}
+    recorder = _start_telemetry(args, obs, run_info)
+    outcome = "completed"
+    try:
+        service = asyncio.run(
+            run_service(config, obs=obs, port_file=args.port_file)
+        )
+    except BaseException:
+        outcome = "failed"
+        raise
+    finally:
+        if recorder is not None:
+            recorder.close(outcome)
+    print(f"Drained after {service.requests_total} requests.")
+    _emit_observability(args, obs, run_info)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.edonkey.transport import TransportError
+    from repro.edonkey.wire import WireError
+    from repro.service import LoadGenConfig, run_loadgen
+
+    problem = _check_out_parents(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    port = args.port
+    if args.port_file:
+        try:
+            with open(args.port_file, "r", encoding="utf-8") as handle:
+                port = int(handle.read().strip())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read --port-file: {exc}", file=sys.stderr)
+            return 2
+    if not port:
+        print(
+            "error: no target port (pass --port or --port-file)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        config = LoadGenConfig(
+            host=args.host,
+            port=port,
+            requests=args.requests,
+            rate=args.rate,
+            sessions=args.sessions,
+            seed=args.seed,
+            scale=args.scale,
+            timeout_s=args.timeout,
+            connect_retries=args.connect_retries,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs = _observer(args)
+    try:
+        result = asyncio.run(run_loadgen(config, obs=obs))
+    except (WireError, TransportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    mix = ", ".join(f"{kind}={n}" for kind, n in sorted(result.mix.items()))
+    print(f"Request mix: {mix}")
+    _emit_observability(
+        args,
+        obs,
+        {
+            "command": "loadgen",
+            "seed": args.seed,
+            "scale": args.scale,
+            "requests": args.requests,
+            "rate": args.rate,
+            "sessions": args.sessions,
+        },
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # parser
 
 
@@ -1541,6 +1662,62 @@ def build_parser() -> argparse.ArgumentParser:
                    "is written (chaos testing; requires --checkpoint-dir)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_crawl)
+
+    p = subparsers.add_parser(
+        "serve",
+        help="run the index server as a live asyncio TCP service "
+        "(repro.wire/1 frames; SIGTERM drains gracefully)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port to bind (0 = pick a free one)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="atomically write the bound port here once "
+                   "listening (how scripted runs discover --port 0)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the fault injector's RNG streams")
+    p.add_argument("--grace", type=float, default=5.0, metavar="SECS",
+                   help="drain grace period before live connections are "
+                   "cancelled (default: 5.0)")
+    p.add_argument("--max-users", type=int, default=200_000)
+    p.add_argument("--reply-limit", type=int, default=200,
+                   help="result cap per search/user-query reply")
+    p.add_argument("--loss-rate", type=float, default=0.0,
+                   help="probability any request is silently dropped")
+    p.add_argument("--slow-rate", type=float, default=0.0,
+                   help="probability a reply is suppressed (client times out)")
+    p.add_argument("--malformed-rate", type=float, default=0.0,
+                   help="probability a reply comes back with an empty payload")
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = subparsers.add_parser(
+        "loadgen",
+        help="replay a seeded trace-derived request mix against a live "
+        "`repro serve` and report latency percentiles",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="port of the running service")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="read the target port from this file (written by "
+                   "`repro serve --port-file`)")
+    p.add_argument("--requests", type=int, default=1000,
+                   help="total requests to send (default: 1000)")
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="offered open-loop load in requests/second")
+    p.add_argument("--sessions", type=int, default=8,
+                   help="concurrent client connections (default: 8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", choices=_SCALE_CHOICES, default="tiny",
+                   help="trace scale the request mix is derived from")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request reply deadline in seconds")
+    p.add_argument("--connect-retries", type=int, default=25,
+                   help="connection attempts before giving up (covers "
+                   "the serve startup race)")
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_loadgen)
 
     p = subparsers.add_parser(
         "trace", help="trace file / trace store tooling"

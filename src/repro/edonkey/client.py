@@ -134,9 +134,15 @@ class Client:
     # ------------------------------------------------------------------
     # Server interaction
 
-    def connect(self, network, server_id: int) -> bool:
-        """Connect to a server, publish the cache, learn the server list."""
-        reply = network.to_server(
+    def connect(self, transport, server_id: int) -> bool:
+        """Connect to a server, publish the cache, learn the server list.
+
+        ``transport`` is anything exposing the
+        :class:`~repro.edonkey.transport.Transport` trio — the simulated
+        :class:`~repro.edonkey.network.Network` itself, or a
+        :class:`~repro.edonkey.transport.SimTransport` adapter over it.
+        """
+        reply = transport.to_server(
             server_id,
             ConnectRequest(
                 client_id=self.client_id,
@@ -149,35 +155,35 @@ class Client:
             return False
         self.server_id = server_id
         self.known_servers.update(reply.server_list)
-        self.publish(network)
+        self.publish(transport)
         return True
 
-    def publish(self, network) -> None:
+    def publish(self, transport) -> None:
         """(Re-)publish the current cache to the connected server."""
         if self.server_id is None:
             raise RuntimeError("publish before connect")
-        network.to_server(
+        transport.to_server(
             self.server_id,
             PublishFiles(
                 client_id=self.client_id, files=self.shared_descriptions()
             ),
         )
 
-    def find_sources(self, network, file_id: str) -> List[int]:
+    def find_sources(self, transport, file_id: str) -> List[int]:
         if self.server_id is None:
             raise RuntimeError("source query before connect")
-        reply = network.to_server(
+        reply = transport.to_server(
             self.server_id, QuerySources(client_id=self.client_id, file_id=file_id)
         )
         if reply is None:
             return []
         return [s for s in reply.sources if s != self.client_id]
 
-    def search(self, network, query: Query, limit: int = 200) -> List[FileDescription]:
+    def search(self, transport, query: Query, limit: int = 200) -> List[FileDescription]:
         """Keyword/range search on the connected server (TCP)."""
         if self.server_id is None:
             raise RuntimeError("search before connect")
-        reply = network.to_server(
+        reply = transport.to_server(
             self.server_id,
             SearchRequest(client_id=self.client_id, query=query, limit=limit),
         )
@@ -186,7 +192,7 @@ class Client:
         return list(reply.results)
 
     def search_all_servers(
-        self, network, query: Query, limit: int = 200
+        self, transport, query: Query, limit: int = 200
     ) -> List[FileDescription]:
         """Search the connected server over TCP, then spray the query to
         every other known server over UDP (Section 2.1: servers do not
@@ -195,12 +201,12 @@ class Client:
         Results are deduplicated by file id, connected-server results
         first.
         """
-        results = self.search(network, query, limit=limit)
+        results = self.search(transport, query, limit=limit)
         seen = {desc.file_id for desc in results}
         for server_id in sorted(self.known_servers):
             if server_id == self.server_id:
                 continue
-            reply = network.to_server(
+            reply = transport.to_server(
                 server_id,
                 UdpSearchRequest(client_id=self.client_id, query=query),
             )
@@ -214,7 +220,7 @@ class Client:
                         return results
         return results
 
-    def _request_callback(self, network, source_id: int) -> bool:
+    def _request_callback(self, transport, source_id: int) -> bool:
         """Ask known servers to force firewalled ``source_id`` to connect
         back; True if some server has it as a session.
 
@@ -224,7 +230,7 @@ class Client:
         if self.config.firewalled:
             return False
         for server_id in sorted(self.known_servers):
-            granted = network.to_server(
+            granted = transport.to_server(
                 server_id,
                 CallbackRequest(
                     requester_id=self.client_id, target_id=source_id
@@ -234,18 +240,18 @@ class Client:
                 return True
         return False
 
-    def _send_to_source(self, network, source_id: int, message, callbacks: set):
+    def _send_to_source(self, transport, source_id: int, message, callbacks: set):
         """Send a client-to-client message, using the server-mediated
         callback channel for firewalled sources that granted one."""
         if source_id in callbacks:
-            return network.callback_to_client(source_id, message)
-        reply = network.to_client(source_id, message)
+            return transport.callback_to_client(source_id, message)
+        reply = transport.to_client(source_id, message)
         if reply is not None:
             return reply
         # Direct connection failed (firewalled?): try the callback route.
-        if self._request_callback(network, source_id):
+        if self._request_callback(transport, source_id):
             callbacks.add(source_id)
-            return network.callback_to_client(source_id, message)
+            return transport.callback_to_client(source_id, message)
         return None
 
     # ------------------------------------------------------------------
@@ -280,7 +286,7 @@ class Client:
 
     def download(
         self,
-        network,
+        transport,
         description: FileDescription,
         sources: Optional[List[int]] = None,
         republish: bool = True,
@@ -292,7 +298,7 @@ class Client:
         Partial progress is kept (and shared) even if the download stalls.
         """
         if sources is None:
-            sources = self.find_sources(network, description.file_id)
+            sources = self.find_sources(transport, description.file_id)
         if not sources:
             self.download_failures += 1
             return False
@@ -307,7 +313,7 @@ class Client:
             fetched = False
             for source_id in sources:
                 status = self._send_to_source(
-                    network,
+                    transport,
                     source_id,
                     FileStatusRequest(file_id=description.file_id),
                     callbacks,
@@ -317,7 +323,7 @@ class Client:
                 if block_index >= len(status.blocks) or not status.blocks[block_index]:
                     continue
                 reply = self._send_to_source(
-                    network,
+                    transport,
                     source_id,
                     BlockRequest(
                         file_id=description.file_id, block_index=block_index
@@ -336,9 +342,9 @@ class Client:
             if not fetched:
                 self.download_failures += 1
                 if republish and self.server_id is not None and shared.is_shareable:
-                    self.publish(network)
+                    self.publish(transport)
                 return False
 
         if republish and self.server_id is not None:
-            self.publish(network)
+            self.publish(transport)
         return True

@@ -252,6 +252,41 @@ class ServerListReply:
 
 
 # ----------------------------------------------------------------------
+# Service-mode messages (the framed TCP transport answers every request,
+# and client<->client exchanges become server-mediated; the in-memory
+# simulation never sends these, so adding them cannot perturb seeded runs)
+
+
+@dataclass
+class Ack:
+    """Generic acknowledgement for requests whose handler returns no
+    payload (``PublishFiles``) or a bare boolean (``CallbackRequest``)."""
+
+    ok: bool = True
+
+
+@dataclass
+class ErrorReply:
+    """A protocol-level error from the live service (for example a
+    publish before connect), reported to the peer instead of tearing the
+    connection down."""
+
+    reason: str = ""
+
+
+@dataclass
+class BrowseUser:
+    """Server-mediated browse: list the files ``target_id`` publishes.
+
+    In the simulation browsing is a direct client<->client TCP exchange;
+    in service mode only the index server is reachable, so the server
+    answers from the target's session."""
+
+    requester_id: int
+    target_id: int
+
+
+# ----------------------------------------------------------------------
 # Client <-> client messages
 
 

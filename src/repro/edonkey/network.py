@@ -17,29 +17,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.context import RunContext
 
 from repro.edonkey.client import Client, ClientConfig
-from repro.faults import (
-    FATE_DROP,
-    FATE_MALFORMED,
-    FATE_OK,
-    FATE_TIMEOUT,
-    FaultConfig,
-    FaultInjector,
-    FaultSchedule,
-)
-from repro.edonkey.messages import (
-    BlockRequest,
-    BrowseRequest,
-    CallbackRequest,
-    ConnectRequest,
-    FileDescription,
-    FileStatusRequest,
-    MessageStats,
-    PublishFiles,
-    QuerySources,
-    QueryUsers,
-    SearchRequest,
-    ServerListRequest,
-    UdpSearchRequest,
+from repro.faults import FaultConfig, FaultInjector, FaultSchedule
+from repro.edonkey.messages import FileDescription, MessageStats
+from repro.edonkey.protocol import (
+    ClientProtocolHandler,
+    ServerProtocolHandler,
 )
 from repro.edonkey.server import Server, ServerConfig
 from repro.obs import NULL_OBSERVER, Observer
@@ -111,6 +93,13 @@ class Network:
         self.obs = obs if obs is not None else NULL_OBSERVER
         self.servers: Dict[int, Server] = {}
         self.clients: Dict[int, Client] = {}
+        # Per-target protocol handlers (the handler layer of the message
+        # plane).  Constructed observer-less: the sim's metric surface
+        # (``network/*`` hop counters) predates the handler layer and is
+        # pinned by committed baselines; per-message protocol metrics
+        # are recorded by the live service's handler instead.
+        self._server_handlers: Dict[int, ServerProtocolHandler] = {}
+        self._client_handlers: Dict[int, ClientProtocolHandler] = {}
         self.stats = MessageStats()
         self.day = generator.config.start_day
         self._caches: Dict[int, Set[int]] = {}  # client -> file indices
@@ -130,11 +119,13 @@ class Network:
 
     def add_server(self, server: Server) -> None:
         self.servers[server.server_id] = server
+        self._server_handlers[server.server_id] = ServerProtocolHandler(server)
         for other in self.servers.values():
             other.learn_servers(self.servers.keys())
 
     def add_client(self, client: Client) -> None:
         self.clients[client.client_id] = client
+        self._client_handlers[client.client_id] = ClientProtocolHandler(client)
 
     def to_server(self, server_id: int, message):
         """Deliver a message to a server; returns the reply (or None).
@@ -153,38 +144,8 @@ class Network:
         if server_id in self.down_servers:
             self.faults.stats.server_down_messages += 1
             return None
-        fate = FATE_OK
-        if self.faults.enabled:
-            fate = self.faults.message_fate(message)
-            if fate == FATE_DROP:
-                return None
-        reply = self._dispatch_server(server, message)
-        if fate == FATE_TIMEOUT:
-            # The request was processed; the reply missed the deadline.
-            return None
-        if fate == FATE_MALFORMED:
-            return self.faults.degrade_reply(reply)
-        return reply
-
-    def _dispatch_server(self, server: Server, message):
-        if isinstance(message, ConnectRequest):
-            return server.handle_connect(message)
-        if isinstance(message, PublishFiles):
-            server.handle_publish(message)
-            return None
-        if isinstance(message, SearchRequest):
-            return server.handle_search(message)
-        if isinstance(message, QuerySources):
-            return server.handle_query_sources(message)
-        if isinstance(message, QueryUsers):
-            return server.handle_query_users(message)
-        if isinstance(message, ServerListRequest):
-            return server.handle_server_list(message)
-        if isinstance(message, UdpSearchRequest):
-            return server.handle_udp_search(message)
-        if isinstance(message, CallbackRequest):
-            return server.handle_callback(message, self)
-        raise TypeError(f"unroutable server message {type(message).__name__}")
+        handler = self._server_handlers[server_id]
+        return self.faults.filtered_dispatch(message, handler.handle)
 
     def to_client(self, client_id: int, message):
         """Deliver a message to a client over a direct TCP connection.
@@ -218,28 +179,12 @@ class Network:
 
     def _deliver_to_client(self, client: Client, message):
         """Apply the fault model to a client-bound hop, then dispatch."""
-        if not self.faults.enabled:
-            return self._dispatch_client(client, message)
-        if self.faults.peer_unreachable(client.client_id):
+        handler = self._client_handlers[client.client_id]
+        if self.faults.enabled and self.faults.peer_unreachable(
+            client.client_id
+        ):
             return None
-        fate = self.faults.message_fate(message)
-        if fate == FATE_DROP:
-            return None
-        reply = self._dispatch_client(client, message)
-        if fate == FATE_TIMEOUT:
-            return None
-        if fate == FATE_MALFORMED:
-            return self.faults.degrade_reply(reply)
-        return reply
-
-    def _dispatch_client(self, client: Client, message):
-        if isinstance(message, BrowseRequest):
-            return client.handle_browse(message)
-        if isinstance(message, FileStatusRequest):
-            return client.handle_file_status(message)
-        if isinstance(message, BlockRequest):
-            return client.handle_block_request(message)
-        raise TypeError(f"unroutable client message {type(message).__name__}")
+        return self.faults.filtered_dispatch(message, handler.handle)
 
     # ------------------------------------------------------------------
     # Day clock / content churn

@@ -83,13 +83,13 @@ class SemanticClient(Client):
 
     # ------------------------------------------------------------------
 
-    def _probe_neighbours(self, network, file_id: str) -> Optional[int]:
+    def _probe_neighbours(self, transport, file_id: str) -> Optional[int]:
         """Ask semantic neighbours directly whether they share ``file_id``.
 
         An unanswered probe counts a strike against the neighbour; any
         answer (even "I don't have it") clears its strikes."""
         for neighbour in list(self.neighbour_list.ordered()):
-            status = network.to_client(neighbour, FileStatusRequest(file_id=file_id))
+            status = transport.to_client(neighbour, FileStatusRequest(file_id=file_id))
             if status is None:
                 self._record_probe_failure(neighbour)
                 continue
@@ -110,7 +110,7 @@ class SemanticClient(Client):
         else:
             self._probe_strikes[neighbour] = strikes
 
-    def locate_and_download(self, network, description: FileDescription) -> bool:
+    def locate_and_download(self, transport, description: FileDescription) -> bool:
         """The semantic lookup path: neighbours first, server second.
 
         Returns True when the file was downloaded and verified.  The
@@ -120,7 +120,7 @@ class SemanticClient(Client):
         stats = self.semantic_stats
         stats.lookups += 1
 
-        source = self._probe_neighbours(network, description.file_id)
+        source = self._probe_neighbours(transport, description.file_id)
         if source is not None:
             stats.semantic_hits += 1
             sources = [source]
@@ -132,13 +132,13 @@ class SemanticClient(Client):
                 # re-home to: the fallback path is gone this round.
                 stats.downloads_failed += 1
                 return False
-            sources = self.find_sources(network, description.file_id)
+            sources = self.find_sources(transport, description.file_id)
             popularity = len(sources)
             if not sources:
                 stats.downloads_failed += 1
                 return False
 
-        ok = self.download(network, description, sources=sources)
+        ok = self.download(transport, description, sources=sources)
         if ok:
             stats.downloads_ok += 1
             self.neighbour_list.record_upload(

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.edonkey.messages import (
+    BrowseReply,
+    BrowseUser,
     CallbackRequest,
     ConnectReply,
     ConnectRequest,
@@ -193,13 +195,27 @@ class Server:
             SearchRequest(client_id=msg.client_id, query=msg.query, limit=msg.limit)
         )
 
-    def handle_callback(self, msg: CallbackRequest, network) -> bool:
+    def handle_callback(self, msg: CallbackRequest, network=None) -> bool:
         """Forward a callback request to a connected firewalled client.
 
         Returns True when the target is a connected session (the network
         then lets the requester reach it once through
-        :meth:`~repro.edonkey.network.Network.callback_to_client`)."""
+        :meth:`~repro.edonkey.network.Network.callback_to_client`).  The
+        ``network`` parameter is vestigial — the handler only consults
+        its own session table — and defaults to ``None`` so the
+        transport-independent dispatch can call every handler with the
+        message alone."""
         return msg.target_id in self._sessions
+
+    def handle_browse_user(self, msg: BrowseUser) -> BrowseReply:
+        """Server-mediated browse (service mode): list the target's
+        published files from its session, in publish order — the same
+        order a direct :class:`~repro.edonkey.messages.BrowseRequest`
+        to the client would return them in."""
+        session = self._sessions.get(msg.target_id)
+        if session is None:
+            return BrowseReply(allowed=False)
+        return BrowseReply(allowed=True, files=list(session.files.values()))
 
     # ------------------------------------------------------------------
     # Nickname search (the crawler's entry point)

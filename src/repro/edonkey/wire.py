@@ -1,0 +1,452 @@
+"""Versioned wire codec for the eDonkey message plane (``repro.wire/1``).
+
+The simulator routes :mod:`repro.edonkey.messages` dataclasses as Python
+objects; service mode (``repro serve``) sends the same dataclasses over
+TCP.  This module is the codec layer between the two: every message
+dataclass encodes to a canonical JSON document and back, byte-exactly,
+with strict validation on decode — a malformed peer cannot smuggle an
+unexpected type or field into a handler.
+
+Wire format
+-----------
+
+A *frame* is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON (pure ASCII as emitted)::
+
+    +--------------+----------------------------------------------+
+    | length (4B)  | {"fields":{...},"seq":0,"type":"...","v":...}|
+    +--------------+----------------------------------------------+
+
+The payload document carries four keys, always all present:
+
+- ``v``      — the schema version string, :data:`WIRE_SCHEMA`;
+- ``seq``    — an optional per-connection sequence number (``null`` when
+  unused).  Replies echo the request's ``seq`` so a transport can match
+  replies to requests even when the fault injector suppresses some;
+- ``type``   — the message dataclass name (``SearchRequest``, ...);
+- ``fields`` — the dataclass fields, encoded recursively.
+
+Field encoding is driven by the dataclass type annotations: primitives
+pass through, ``bytes`` become ``{"$bytes": "<hex>"}``, tuples become
+JSON arrays (rebuilt as tuples on decode), and nested message
+dataclasses — :class:`~repro.edonkey.messages.FileDescription`, the
+:class:`~repro.edonkey.messages.Query` expression tree — become
+``{"$type": "<Name>", "fields": {...}}`` envelopes.  JSON is emitted
+with sorted keys and compact separators, so ``encode → decode → encode``
+reproduces the original bytes exactly.
+
+Strictness: unknown message types, unknown or missing fields, wrong
+primitive types, bad hex, schema-version mismatches, zero-length,
+truncated and oversized frames all raise :class:`WireError` (a
+``ValueError``) with a message naming the offence.
+
+The module deliberately imports neither ``asyncio`` nor anything heavy:
+the async helpers (:func:`read_frame` / :func:`write_frame`) duck-type
+against ``StreamReader``/``StreamWriter`` and catch ``EOFError`` (the
+base class of ``asyncio.IncompleteReadError``), so importing the codec
+keeps the CLI's cold-import baseline asyncio-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+import typing
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.edonkey import messages as _messages
+from repro.edonkey.messages import Query
+
+#: Version tag carried in every frame payload.
+WIRE_SCHEMA = "repro.wire/1"
+
+#: Hard ceiling on one frame's payload size.  Far above any legitimate
+#: reply (a 200-result SearchReply is a few hundred KB) but small enough
+#: that a garbage length prefix cannot make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Size of the length prefix in bytes.
+HEADER_BYTES = _HEADER.size
+
+
+class WireError(ValueError):
+    """A frame or payload that violates ``repro.wire/1``."""
+
+
+def _build_registry() -> Dict[str, type]:
+    """Every dataclass defined in :mod:`repro.edonkey.messages`.
+
+    Built by introspection so a newly added message automatically joins
+    the codec; the round-trip test suite asserts the registry is
+    exhaustive against the same introspection.
+    """
+    registry: Dict[str, type] = {}
+    for name in dir(_messages):
+        obj = getattr(_messages, name)
+        if (
+            isinstance(obj, type)
+            and dataclasses.is_dataclass(obj)
+            and obj.__module__ == _messages.__name__
+        ):
+            registry[obj.__name__] = obj
+    return registry
+
+
+#: ``name -> dataclass`` for every encodable message type.
+MESSAGE_TYPES: Dict[str, type] = _build_registry()
+
+# Resolved type hints per dataclass, computed once (get_type_hints has
+# to evaluate the module's postponed annotations).
+_HINTS: Dict[type, Dict[str, Any]] = {}
+
+
+def _hints(cls: type) -> Dict[str, Any]:
+    hints = _HINTS.get(cls)
+    if hints is None:
+        hints = _HINTS[cls] = typing.get_type_hints(cls)
+    return hints
+
+
+# ----------------------------------------------------------------------
+# Encoding
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, bytes):
+        return {"$bytes": value.hex()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        if MESSAGE_TYPES.get(cls.__name__) is not cls:
+            raise WireError(
+                f"cannot encode unregistered dataclass {cls.__name__}"
+            )
+        return {"$type": cls.__name__, "fields": _encode_fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded: Dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(
+                    f"cannot encode dict key of type {type(key).__name__}"
+                )
+            encoded[key] = _encode_value(item)
+        return encoded
+    raise WireError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _encode_fields(message: Any) -> Dict[str, Any]:
+    return {
+        f.name: _encode_value(getattr(message, f.name))
+        for f in dataclasses.fields(message)
+    }
+
+
+def encode_payload(message: Any, seq: Optional[int] = None) -> bytes:
+    """The canonical JSON payload bytes for one message (no framing)."""
+    cls = type(message)
+    if MESSAGE_TYPES.get(cls.__name__) is not cls:
+        raise WireError(f"cannot encode non-message type {cls.__name__}")
+    if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int)):
+        raise WireError(f"seq must be an int or None, got {seq!r}")
+    document = {
+        "v": WIRE_SCHEMA,
+        "seq": seq,
+        "type": cls.__name__,
+        "fields": _encode_fields(message),
+    }
+    return json.dumps(
+        document,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    ).encode("ascii")
+
+
+def encode_frame(message: Any, seq: Optional[int] = None) -> bytes:
+    """One length-prefixed frame carrying ``message``."""
+    payload = encode_payload(message, seq=seq)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"oversized frame: payload is {len(payload)} bytes "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Decoding
+
+
+def _type_name(hint: Any) -> str:
+    return getattr(hint, "__name__", None) or str(hint)
+
+
+def _decode_value(value: Any, hint: Any, where: str) -> Any:
+    origin = typing.get_origin(hint)
+    if origin is typing.Union:
+        args = typing.get_args(hint)
+        if value is None and type(None) in args:
+            return None
+        concrete = [a for a in args if a is not type(None)]
+        if len(concrete) != 1:
+            raise WireError(f"{where}: unsupported union annotation {hint!r}")
+        return _decode_value(value, concrete[0], where)
+    if hint is bool:
+        if not isinstance(value, bool):
+            raise WireError(
+                f"{where}: expected bool, got {type(value).__name__}"
+            )
+        return value
+    if hint is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise WireError(
+                f"{where}: expected int, got {type(value).__name__}"
+            )
+        return value
+    if hint is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise WireError(
+                f"{where}: expected float, got {type(value).__name__}"
+            )
+        return float(value)
+    if hint is str:
+        if not isinstance(value, str):
+            raise WireError(
+                f"{where}: expected str, got {type(value).__name__}"
+            )
+        return value
+    if hint is bytes:
+        if (
+            not isinstance(value, dict)
+            or set(value) != {"$bytes"}
+            or not isinstance(value["$bytes"], str)
+        ):
+            raise WireError(f"{where}: expected a {{'$bytes': hex}} object")
+        try:
+            return bytes.fromhex(value["$bytes"])
+        except ValueError as exc:
+            raise WireError(f"{where}: bad hex in $bytes: {exc}") from None
+    if origin is list:
+        (item_hint,) = typing.get_args(hint)
+        if not isinstance(value, list):
+            raise WireError(
+                f"{where}: expected list, got {type(value).__name__}"
+            )
+        return [
+            _decode_value(item, item_hint, f"{where}[{index}]")
+            for index, item in enumerate(value)
+        ]
+    if origin is tuple:
+        args = typing.get_args(hint)
+        if not isinstance(value, list):
+            raise WireError(
+                f"{where}: expected list, got {type(value).__name__}"
+            )
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(
+                _decode_value(item, args[0], f"{where}[{index}]")
+                for index, item in enumerate(value)
+            )
+        if len(value) != len(args):
+            raise WireError(
+                f"{where}: expected {len(args)} elements, got {len(value)}"
+            )
+        return tuple(
+            _decode_value(item, item_hint, f"{where}[{index}]")
+            for index, (item, item_hint) in enumerate(zip(value, args))
+        )
+    if origin is dict:
+        key_hint, value_hint = typing.get_args(hint)
+        if key_hint is not str:
+            raise WireError(f"{where}: unsupported dict key type {key_hint!r}")
+        if not isinstance(value, dict):
+            raise WireError(
+                f"{where}: expected object, got {type(value).__name__}"
+            )
+        return {
+            key: _decode_value(item, value_hint, f"{where}[{key!r}]")
+            for key, item in value.items()
+        }
+    if isinstance(hint, type) and (
+        dataclasses.is_dataclass(hint) or issubclass(hint, Query)
+    ):
+        return _decode_envelope(value, expected=hint, where=where)
+    raise WireError(f"{where}: unsupported annotation {_type_name(hint)}")
+
+
+def _decode_envelope(value: Any, expected: Optional[type], where: str) -> Any:
+    """Decode a ``{"$type": ..., "fields": ...}`` nested-message object."""
+    if not isinstance(value, dict) or set(value) != {"$type", "fields"}:
+        raise WireError(
+            f"{where}: expected a {{'$type', 'fields'}} message object"
+        )
+    name = value["$type"]
+    if not isinstance(name, str):
+        raise WireError(f"{where}: $type must be a string")
+    cls = MESSAGE_TYPES.get(name)
+    if cls is None:
+        raise WireError(f"{where}: unknown message type {name!r}")
+    if expected is not None and not issubclass(cls, expected):
+        raise WireError(
+            f"{where}: {name} is not a {_type_name(expected)}"
+        )
+    return _decode_fields(cls, value["fields"], where=f"{where}.{name}")
+
+
+def _decode_fields(cls: type, fields: Any, where: str) -> Any:
+    if not isinstance(fields, dict):
+        raise WireError(f"{where}: fields must be an object")
+    declared = dataclasses.fields(cls)
+    declared_names = {f.name for f in declared}
+    unknown = sorted(set(fields) - declared_names)
+    if unknown:
+        raise WireError(f"{where}: unknown fields {unknown}")
+    missing = sorted(declared_names - set(fields))
+    if missing:
+        raise WireError(f"{where}: missing fields {missing}")
+    hints = _hints(cls)
+    kwargs = {
+        f.name: _decode_value(fields[f.name], hints[f.name], f"{where}.{f.name}")
+        for f in declared
+    }
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"{where}: invalid field values: {exc}") from exc
+
+
+def decode_payload(data: bytes) -> Tuple[Any, Optional[int]]:
+    """Decode one frame payload; returns ``(message, seq)``."""
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(document, dict):
+        raise WireError("frame payload must be a JSON object")
+    expected_keys = {"v", "seq", "type", "fields"}
+    if set(document) != expected_keys:
+        raise WireError(
+            f"frame payload must carry exactly {sorted(expected_keys)}, "
+            f"got {sorted(document)}"
+        )
+    if document["v"] != WIRE_SCHEMA:
+        raise WireError(
+            f"unsupported wire schema {document['v']!r} "
+            f"(this build speaks {WIRE_SCHEMA})"
+        )
+    seq = document["seq"]
+    if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int)):
+        raise WireError(f"seq must be an int or null, got {seq!r}")
+    name = document["type"]
+    if not isinstance(name, str):
+        raise WireError("type must be a string")
+    cls = MESSAGE_TYPES.get(name)
+    if cls is None:
+        raise WireError(f"unknown message type {name!r}")
+    message = _decode_fields(cls, document["fields"], where=name)
+    return message, seq
+
+
+def frame_length(header: bytes) -> int:
+    """Validate a 4-byte length prefix and return the payload length."""
+    if len(header) != HEADER_BYTES:
+        raise WireError(
+            f"truncated frame header: got {len(header)} of "
+            f"{HEADER_BYTES} bytes"
+        )
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise WireError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"oversized frame: header declares {length} bytes "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return length
+
+
+def decode_frame(
+    buffer: bytes, offset: int = 0
+) -> Optional[Tuple[Any, Optional[int], int]]:
+    """Decode the frame at ``offset``; ``(message, seq, next_offset)``.
+
+    Returns ``None`` when the buffer holds only part of a frame (more
+    bytes are needed); raises :class:`WireError` on an invalid one.
+    """
+    remaining = len(buffer) - offset
+    if remaining < HEADER_BYTES:
+        return None
+    length = frame_length(bytes(buffer[offset : offset + HEADER_BYTES]))
+    if remaining - HEADER_BYTES < length:
+        return None
+    start = offset + HEADER_BYTES
+    message, seq = decode_payload(bytes(buffer[start : start + length]))
+    return message, seq, start + length
+
+
+def decode_frames(data: bytes) -> List[Tuple[Any, Optional[int]]]:
+    """Decode a complete byte string into its frames, strictly.
+
+    Trailing partial frames are an error here (the stream readers use
+    :func:`decode_frame` for incremental parsing): a closed connection
+    that left half a frame behind surfaces as ``WireError`` rather than
+    silent truncation.
+    """
+    frames: List[Tuple[Any, Optional[int]]] = []
+    offset = 0
+    while offset < len(data):
+        step = decode_frame(data, offset)
+        if step is None:
+            raise WireError(
+                f"truncated frame at byte {offset}: "
+                f"{len(data) - offset} trailing bytes"
+            )
+        message, seq, offset = step
+        frames.append((message, seq))
+    return frames
+
+
+# ----------------------------------------------------------------------
+# Async stream helpers (duck-typed; no asyncio import)
+
+
+async def read_frame(reader) -> Optional[Tuple[Any, Optional[int]]]:
+    """Read one frame from an ``asyncio.StreamReader``-like object.
+
+    Returns ``(message, seq)``, or ``None`` on a clean EOF at a frame
+    boundary.  EOF inside a frame raises :class:`WireError` — the peer
+    hung up mid-message.  (``asyncio.IncompleteReadError`` is an
+    ``EOFError``, so the codec stays importable without asyncio.)
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except EOFError as exc:
+        if getattr(exc, "partial", b""):
+            raise WireError(
+                "truncated frame: connection closed mid-header"
+            ) from None
+        return None
+    length = frame_length(header)
+    try:
+        payload = await reader.readexactly(length)
+    except EOFError:
+        raise WireError(
+            f"truncated frame: connection closed before {length} "
+            "payload bytes arrived"
+        ) from None
+    return decode_payload(payload)
+
+
+async def write_frame(writer, message: Any, seq: Optional[int] = None) -> None:
+    """Write one frame to an ``asyncio.StreamWriter``-like object."""
+    writer.write(encode_frame(message, seq=seq))
+    await writer.drain()

@@ -101,6 +101,35 @@ class FaultInjector:
             return FATE_MALFORMED
         return FATE_OK
 
+    def filtered_dispatch(self, message: object, dispatch):
+        """Run ``dispatch(message)`` under this injector's fate model.
+
+        This is the one transport-seam hook both message planes share:
+        the simulated :class:`~repro.edonkey.network.Network` wraps its
+        protocol-handler dispatch in it, and the live asyncio service
+        (:mod:`repro.service.server`) wraps its TCP request handling in
+        the same call — so loss, timeouts and malformed replies behave
+        identically in batch and in service mode.
+
+        The fate is drawn *before* dispatching (matching the pre-seam
+        network code byte for byte): a dropped request never reaches the
+        handler, a timed-out one is handled but its reply suppressed,
+        and a malformed one returns a degraded reply.  When the injector
+        is disabled this is a plain ``dispatch(message)`` with no RNG
+        draw and no stats.
+        """
+        if not self.enabled:
+            return dispatch(message)
+        fate = self.message_fate(message)
+        if fate == FATE_DROP:
+            return None
+        reply = dispatch(message)
+        if fate == FATE_TIMEOUT:
+            return None
+        if fate == FATE_MALFORMED:
+            return self.degrade_reply(reply)
+        return reply
+
     def peer_unreachable(self, client_id: int) -> bool:
         """True when ``client_id`` is transiently down today."""
         if client_id in self.flaky_offline:

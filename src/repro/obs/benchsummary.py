@@ -50,6 +50,20 @@ def _headline_metrics(payload: Dict[str, object]) -> Dict[str, float]:
         values = payload.get(section)
         if isinstance(values, dict):
             headline[section] = float(len(values))
+    # Service-mode runs (bench-serve, `repro loadgen`) carry their
+    # latency/throughput summary as gauges — surface those instead of
+    # the bare section sizes.
+    gauges = payload.get("gauges", {})
+    if isinstance(gauges, dict) and "loadgen/p99_ms" in gauges:
+        for section in ("counters", "gauges", "histograms"):
+            headline.pop(section, None)
+        for key, label in (
+            ("loadgen/achieved_rps", "rps"),
+            ("loadgen/p50_ms", "p50_ms"),
+            ("loadgen/p99_ms", "p99_ms"),
+        ):
+            if key in gauges:
+                headline[label] = float(gauges[key])
     return headline
 
 

@@ -1,0 +1,30 @@
+"""Service mode: the index server as a live asyncio process.
+
+``repro serve`` (:mod:`repro.service.server`) binds the simulator's
+index server behind a TCP listener speaking ``repro.wire/1`` frames;
+``repro loadgen`` (:mod:`repro.service.loadgen`) replays a seeded,
+trace-derived request mix against it and reports latency percentiles.
+
+This package (and everything async underneath it) is imported lazily
+from the CLI so the cold-import baseline stays asyncio-free.
+"""
+
+from repro.service.loadgen import (
+    LoadGenConfig,
+    LoadGenResult,
+    LoadPlan,
+    build_plan,
+    run_loadgen,
+)
+from repro.service.server import IndexService, ServiceConfig, run_service
+
+__all__ = [
+    "IndexService",
+    "LoadGenConfig",
+    "LoadGenResult",
+    "LoadPlan",
+    "ServiceConfig",
+    "build_plan",
+    "run_loadgen",
+    "run_service",
+]

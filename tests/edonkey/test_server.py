@@ -11,6 +11,7 @@ from repro.edonkey.messages import (
     QueryUsers,
     SearchRequest,
     ServerListRequest,
+    UdpSearchRequest,
     query_and,
 )
 from repro.edonkey.server import Server, ServerConfig
@@ -180,6 +181,99 @@ class TestQueryUsers:
         server.handle_disconnect(1)
         reply = server.handle_query_users(QueryUsers(pattern="van"))
         assert reply.users == []
+
+    def test_default_cap_is_200(self):
+        # The default config caps at 200 even with 250 genuine matches,
+        # and reports the truncation.
+        server = Server(0)
+        for i in range(250):
+            connect(server, i, nickname=f"common-{i:03d}")
+        reply = server.handle_query_users(QueryUsers(pattern="com"))
+        assert len(reply.users) == 200
+        assert reply.truncated
+        # Candidates are walked in client-id order, so the cap keeps the
+        # lowest ids deterministically.
+        assert [u[0] for u in reply.users] == list(range(200))
+
+    def test_exactly_at_cap_is_not_truncated(self):
+        server = Server(0, ServerConfig(reply_limit=5))
+        for i in range(5):
+            connect(server, i, nickname=f"aaa-{i}")
+        reply = server.handle_query_users(QueryUsers(pattern="aaa"))
+        assert len(reply.users) == 5
+        assert not reply.truncated
+
+    def test_trigram_candidate_without_substring_match(self):
+        # "dxa" IS a trigram of "dxaq" but the full pattern "dxaz" is
+        # not a substring: the trigram index may nominate a candidate,
+        # the substring check must still reject it.
+        server = Server(0)
+        connect(server, 1, nickname="dxaq")
+        reply = server.handle_query_users(QueryUsers(pattern="dxaz"))
+        assert reply.users == []
+
+    def test_trigram_lookup_is_case_insensitive(self):
+        server = Server(0)
+        connect(server, 1, nickname="DarkWolf")
+        reply = server.handle_query_users(QueryUsers(pattern="ARKWO"))
+        assert [u[1] for u in reply.users] == ["DarkWolf"]
+
+    def test_short_nickname_unreachable_via_trigrams(self):
+        # A 2-char nickname indexes no trigrams; a >= 3 char pattern can
+        # never match it anyway (substring longer than the name).
+        server = Server(0)
+        connect(server, 1, nickname="zq")
+        assert server.handle_query_users(QueryUsers(pattern="zqx")).users == []
+        # ... but the short-pattern full scan still finds it.
+        assert server.handle_query_users(QueryUsers(pattern="zq")).users == [
+            (1, "zq", False)
+        ]
+
+
+class TestUdpSearch:
+    def _populated(self, n=60):
+        server = Server(0)
+        connect(server, 1, nickname="sharer")
+        publish(
+            server,
+            1,
+            *[desc(file_id=f"f{i}", name=f"common tune {i}") for i in range(n)],
+        )
+        return server
+
+    def test_same_index_as_tcp_search(self):
+        server = self._populated(n=10)
+        udp = server.handle_udp_search(
+            UdpSearchRequest(client_id=9, query=Keyword("common"), limit=200)
+        )
+        tcp = server.handle_search(
+            SearchRequest(client_id=9, query=Keyword("common"), limit=200)
+        )
+        assert udp == tcp
+
+    def test_default_limit_is_50(self):
+        server = self._populated(n=60)
+        reply = server.handle_udp_search(
+            UdpSearchRequest(client_id=9, query=Keyword("common"))
+        )
+        assert len(reply.results) == 50
+        assert reply.truncated
+
+    def test_requester_needs_no_session(self):
+        # UDP queries come from clients connected to *other* servers.
+        server = self._populated(n=1)
+        reply = server.handle_udp_search(
+            UdpSearchRequest(client_id=424242, query=Keyword("common"))
+        )
+        assert len(reply.results) == 1
+
+    def test_no_match_is_empty_not_truncated(self):
+        server = self._populated(n=5)
+        reply = server.handle_udp_search(
+            UdpSearchRequest(client_id=9, query=Keyword("nosuchword"))
+        )
+        assert reply.results == []
+        assert not reply.truncated
 
 
 class TestServerList:
